@@ -1,0 +1,196 @@
+package afforest
+
+// One testing.B benchmark per table and figure of the paper's
+// evaluation, each delegating to the internal/bench runner that
+// regenerates it (DESIGN.md §4 maps experiments to runners; cmd/ccbench
+// is the CLI equivalent with full-size defaults). Benchmark scale is
+// reduced so `go test -bench=.` completes in minutes; raise via
+// cmd/ccbench -scale for paper-sized runs.
+//
+// Additional micro-benchmarks compare the algorithms head-to-head on
+// each suite topology, which is the Fig 8a grid in testing.B form.
+
+import (
+	"testing"
+
+	"afforest/internal/baselines"
+	"afforest/internal/bench"
+	"afforest/internal/core"
+	"afforest/internal/gen"
+	"afforest/internal/graph"
+)
+
+// benchCfg keeps bench runs laptop-fast while preserving every shape.
+func benchCfg(scale int) bench.Config {
+	return bench.Config{Scale: scale, Runs: 3, Seed: 42, Validate: false}
+}
+
+func BenchmarkTable2IterationsAndDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table2(benchCfg(12))
+	}
+}
+
+func BenchmarkTable3SuiteStatistics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table3(benchCfg(12))
+	}
+}
+
+func BenchmarkFig6aLinkageConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig6a(benchCfg(12))
+	}
+}
+
+func BenchmarkFig6bCoverageConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig6b(benchCfg(12))
+	}
+}
+
+func BenchmarkFig6cRuntimeVsDegree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig6c(benchCfg(11))
+	}
+}
+
+func BenchmarkFig7MemoryTraces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig7(benchCfg(12))
+	}
+}
+
+func BenchmarkFig8aSuiteRuntimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig8a(benchCfg(11))
+	}
+}
+
+func BenchmarkFig8bStrongScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig8b(benchCfg(11), []int{1, 2, 4})
+	}
+}
+
+func BenchmarkFig8cComponentFractions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig8c(benchCfg(11))
+	}
+}
+
+// --- Per-algorithm micro-benchmarks on each suite topology (the Fig 8a
+// grid, one testing.B cell at a time). ---
+
+func benchAlgorithmOn(b *testing.B, build func() *graph.CSR, run func(*graph.CSR, int) []graph.V) {
+	g := build()
+	b.SetBytes(int64(g.NumArcs() * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(g, 0)
+	}
+}
+
+func afforestRun(g *graph.CSR, p int) []graph.V {
+	opt := core.DefaultOptions()
+	opt.Parallelism = p
+	return opt2labels(g, opt)
+}
+
+func afforestNoSkipRun(g *graph.CSR, p int) []graph.V {
+	opt := core.DefaultOptions()
+	opt.SkipLargest = false
+	opt.Parallelism = p
+	return opt2labels(g, opt)
+}
+
+func opt2labels(g *graph.CSR, opt core.Options) []graph.V {
+	return core.Run(g, opt).Labels()
+}
+
+const microScale = 16
+
+func suiteGraph(name string) func() *graph.CSR {
+	return func() *graph.CSR {
+		sg, err := gen.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		return sg.Build(microScale, 42)
+	}
+}
+
+func BenchmarkAfforestRoad(b *testing.B)    { benchAlgorithmOn(b, suiteGraph("road"), afforestRun) }
+func BenchmarkAfforestTwitter(b *testing.B) { benchAlgorithmOn(b, suiteGraph("twitter"), afforestRun) }
+func BenchmarkAfforestWeb(b *testing.B)     { benchAlgorithmOn(b, suiteGraph("web"), afforestRun) }
+func BenchmarkAfforestKron(b *testing.B)    { benchAlgorithmOn(b, suiteGraph("kron"), afforestRun) }
+func BenchmarkAfforestURand(b *testing.B)   { benchAlgorithmOn(b, suiteGraph("urand"), afforestRun) }
+func BenchmarkAfforestOSMEur(b *testing.B)  { benchAlgorithmOn(b, suiteGraph("osm-eur"), afforestRun) }
+
+func BenchmarkAfforestNoSkipURand(b *testing.B) {
+	benchAlgorithmOn(b, suiteGraph("urand"), afforestNoSkipRun)
+}
+
+func BenchmarkSVRoad(b *testing.B)    { benchAlgorithmOn(b, suiteGraph("road"), baselines.SV) }
+func BenchmarkSVTwitter(b *testing.B) { benchAlgorithmOn(b, suiteGraph("twitter"), baselines.SV) }
+func BenchmarkSVWeb(b *testing.B)     { benchAlgorithmOn(b, suiteGraph("web"), baselines.SV) }
+func BenchmarkSVKron(b *testing.B)    { benchAlgorithmOn(b, suiteGraph("kron"), baselines.SV) }
+func BenchmarkSVURand(b *testing.B)   { benchAlgorithmOn(b, suiteGraph("urand"), baselines.SV) }
+
+func BenchmarkSVEdgeListKron(b *testing.B) {
+	benchAlgorithmOn(b, suiteGraph("kron"), baselines.SVEdgeList)
+}
+
+func BenchmarkDOBFSRoad(b *testing.B)  { benchAlgorithmOn(b, suiteGraph("road"), baselines.DOBFSCC) }
+func BenchmarkDOBFSKron(b *testing.B)  { benchAlgorithmOn(b, suiteGraph("kron"), baselines.DOBFSCC) }
+func BenchmarkDOBFSURand(b *testing.B) { benchAlgorithmOn(b, suiteGraph("urand"), baselines.DOBFSCC) }
+
+func BenchmarkLPKron(b *testing.B) { benchAlgorithmOn(b, suiteGraph("kron"), baselines.LP) }
+func BenchmarkBFSKron(b *testing.B) {
+	benchAlgorithmOn(b, suiteGraph("kron"), baselines.BFSCC)
+}
+
+func BenchmarkSerialUnionFindKron(b *testing.B) {
+	benchAlgorithmOn(b, suiteGraph("kron"), baselines.SerialUnionFind)
+}
+
+// BenchmarkSpanningForestWeb measures the Section IV-A forest
+// extraction used by the optimal sampling oracle.
+func BenchmarkSpanningForestWeb(b *testing.B) {
+	g := gen.WebLike(1<<microScale, 20, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SpanningForest(g, 0)
+	}
+}
+
+func BenchmarkAblationRounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationRounds(benchCfg(11))
+	}
+}
+
+func BenchmarkAblationSampleSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationSampleSize(benchCfg(11))
+	}
+}
+
+func BenchmarkAblationRelabel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationRelabel(benchCfg(11))
+	}
+}
+
+func BenchmarkExtDistributed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.ExtDist(benchCfg(11))
+	}
+}
+
+func BenchmarkExtGPUCostModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.ExtGPU(benchCfg(10))
+	}
+}

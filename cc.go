@@ -1,0 +1,208 @@
+package afforest
+
+import (
+	"fmt"
+	"sort"
+
+	"afforest/internal/baselines"
+	"afforest/internal/core"
+	"afforest/internal/graph"
+)
+
+// Algorithm selects a connected-components implementation.
+type Algorithm string
+
+// Available algorithms. AlgoAfforest is the paper's contribution; the
+// rest are the baselines of its evaluation.
+const (
+	AlgoAfforest       Algorithm = "afforest"
+	AlgoAfforestNoSkip Algorithm = "afforest-noskip"
+	AlgoSV             Algorithm = "sv"
+	AlgoSVEdgeList     Algorithm = "sv-edgelist"
+	AlgoLP             Algorithm = "lp"
+	AlgoLPDataDriven   Algorithm = "lp-datadriven"
+	AlgoBFS            Algorithm = "bfs"
+	AlgoDOBFS          Algorithm = "dobfs"
+	AlgoSerial         Algorithm = "serial-uf"
+)
+
+// Algorithms lists every available Algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgoAfforest, AlgoAfforestNoSkip, AlgoSV, AlgoSVEdgeList,
+		AlgoLP, AlgoLPDataDriven, AlgoBFS, AlgoDOBFS, AlgoSerial,
+	}
+}
+
+// Options configures ConnectedComponents. The zero value runs Afforest
+// with the paper's defaults on all CPUs.
+type Options struct {
+	// Algorithm to run (default AlgoAfforest).
+	Algorithm Algorithm
+	// NeighborRounds for Afforest (0 = the paper default of 2;
+	// negative disables sampling). Ignored by other algorithms.
+	NeighborRounds int
+	// Parallelism caps worker goroutines (0 = GOMAXPROCS).
+	Parallelism int
+	// Seed drives Afforest's probabilistic largest-component search.
+	Seed uint64
+}
+
+// Result is a connected-components labeling with derived queries.
+type Result struct {
+	labels []V
+	census []componentInfo // descending by size
+	index  map[V]int       // label -> census index
+}
+
+type componentInfo struct {
+	Label V
+	Size  int
+}
+
+// ConnectedComponents computes the connected components of g.
+func ConnectedComponents(g *Graph, opt Options) *Result {
+	labels, err := runAlgorithm(g, opt)
+	if err != nil {
+		// Unknown algorithm names are programming errors, not runtime
+		// conditions; fail loudly.
+		panic(err)
+	}
+	return newResult(labels)
+}
+
+// ConnectedComponentsChecked is ConnectedComponents returning an error
+// instead of panicking on an unknown algorithm.
+func ConnectedComponentsChecked(g *Graph, opt Options) (*Result, error) {
+	labels, err := runAlgorithm(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(labels), nil
+}
+
+func runAlgorithm(g *Graph, opt Options) ([]V, error) {
+	algo := opt.Algorithm
+	if algo == "" {
+		algo = AlgoAfforest
+	}
+	switch algo {
+	case AlgoAfforest, AlgoAfforestNoSkip:
+		copt := core.DefaultOptions()
+		copt.NeighborRounds = opt.NeighborRounds
+		copt.SkipLargest = algo == AlgoAfforest
+		copt.Parallelism = opt.Parallelism
+		copt.Seed = opt.Seed
+		return core.Run(g.csr, copt).Labels(), nil
+	case AlgoSV:
+		return baselines.SV(g.csr, opt.Parallelism), nil
+	case AlgoSVEdgeList:
+		return baselines.SVEdgeList(g.csr, opt.Parallelism), nil
+	case AlgoLP:
+		return baselines.LP(g.csr, opt.Parallelism), nil
+	case AlgoLPDataDriven:
+		return baselines.LPDataDriven(g.csr, opt.Parallelism), nil
+	case AlgoBFS:
+		return baselines.BFSCC(g.csr, opt.Parallelism), nil
+	case AlgoDOBFS:
+		return baselines.DOBFSCC(g.csr, opt.Parallelism), nil
+	case AlgoSerial:
+		return baselines.SerialUnionFind(g.csr, opt.Parallelism), nil
+	}
+	return nil, fmt.Errorf("afforest: unknown algorithm %q (have %v)", algo, Algorithms())
+}
+
+func newResult(labels []V) *Result {
+	counts := make(map[V]int)
+	for _, l := range labels {
+		counts[l]++
+	}
+	census := make([]componentInfo, 0, len(counts))
+	for l, c := range counts {
+		census = append(census, componentInfo{Label: l, Size: c})
+	}
+	sort.Slice(census, func(i, j int) bool {
+		if census[i].Size != census[j].Size {
+			return census[i].Size > census[j].Size
+		}
+		return census[i].Label < census[j].Label
+	})
+	index := make(map[V]int, len(census))
+	for i, c := range census {
+		index[c.Label] = i
+	}
+	return &Result{labels: labels, census: census, index: index}
+}
+
+// Labels returns the per-vertex component labels. Two vertices are
+// connected iff their labels are equal. The slice must not be modified.
+func (r *Result) Labels() []V { return r.labels }
+
+// Label returns v's component label.
+func (r *Result) Label(v V) V { return r.labels[v] }
+
+// SameComponent reports whether u and v are connected.
+func (r *Result) SameComponent(u, v V) bool { return r.labels[u] == r.labels[v] }
+
+// NumComponents returns the number of connected components.
+func (r *Result) NumComponents() int { return len(r.census) }
+
+// ComponentSizes returns component sizes in descending order.
+func (r *Result) ComponentSizes() []int {
+	sizes := make([]int, len(r.census))
+	for i, c := range r.census {
+		sizes[i] = c.Size
+	}
+	return sizes
+}
+
+// LargestComponent returns the label and size of the largest component
+// (ok = false on an empty graph).
+func (r *Result) LargestComponent() (label V, size int, ok bool) {
+	if len(r.census) == 0 {
+		return 0, 0, false
+	}
+	return r.census[0].Label, r.census[0].Size, true
+}
+
+// ComponentOf returns all vertices in v's component (ascending).
+// This scans the labeling: O(|V|).
+func (r *Result) ComponentOf(v V) []V {
+	want := r.labels[v]
+	var out []V
+	for u, l := range r.labels {
+		if l == want {
+			out = append(out, V(u))
+		}
+	}
+	return out
+}
+
+// SpanningForest returns a spanning forest of g (|V|−C edges; each
+// component's edges form a spanning tree), computed with Afforest's
+// merge-tracking link (Section IV-A of the paper).
+func SpanningForest(g *Graph, parallelism int) []Edge {
+	return core.SpanningForest(g.csr, parallelism)
+}
+
+// Validate checks a Result against g: every edge must join same-label
+// vertices and the partition must match a sequential BFS oracle. Meant
+// for tests and harnesses; it is much slower than the computation
+// itself.
+func Validate(g *Graph, r *Result) error {
+	oracle, _ := graph.SequentialCC(g.csr)
+	fwd := make(map[int32]V)
+	rev := make(map[V]int32)
+	for v := range oracle {
+		o, l := oracle[v], r.labels[v]
+		if want, ok := fwd[o]; ok && want != l {
+			return fmt.Errorf("afforest: vertex %d labeled %d, component already saw %d", v, l, want)
+		}
+		fwd[o] = l
+		if want, ok := rev[l]; ok && want != o {
+			return fmt.Errorf("afforest: label %d spans two components", l)
+		}
+		rev[l] = o
+	}
+	return nil
+}

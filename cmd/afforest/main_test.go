@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"afforest"
+)
+
+func TestLoadOrGenerateGenerators(t *testing.T) {
+	for _, gen := range []string{"urand", "kron", "road", "twitter", "web", "regular"} {
+		g, err := loadOrGenerate("", gen, 500, 9, 8, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if g.NumVertices() == 0 {
+			t.Fatalf("%s: empty graph", gen)
+		}
+	}
+}
+
+func TestLoadOrGenerateFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.csr")
+	g := afforest.GenerateURand(300, 6, 1)
+	if err := afforest.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := loadOrGenerate(path, "", 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() {
+		t.Fatal("loaded graph differs")
+	}
+}
+
+func TestLoadOrGenerateErrors(t *testing.T) {
+	if _, err := loadOrGenerate("x.el", "urand", 10, 9, 4, 1); err == nil {
+		t.Fatal("-in with -gen accepted")
+	}
+	if _, err := loadOrGenerate("", "", 10, 9, 4, 1); err == nil {
+		t.Fatal("neither -in nor -gen accepted")
+	}
+	if _, err := loadOrGenerate("", "bogus", 10, 9, 4, 1); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+	if _, err := loadOrGenerate("/nonexistent/file.csr", "", 0, 0, 0, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWriteTraceModes(t *testing.T) {
+	dir := t.TempDir()
+	for _, algo := range []string{"afforest", "afforest-noskip", "sv"} {
+		path := filepath.Join(dir, algo+".tsv")
+		if err := writeTrace("", "urand", 300, 0, 6, 1, algo, 0, path); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		info, err := os.Stat(path)
+		if err != nil || info.Size() == 0 {
+			t.Fatalf("%s: trace file missing or empty", algo)
+		}
+	}
+	if err := writeTrace("", "urand", 100, 0, 4, 1, "dobfs", 0, filepath.Join(dir, "x.tsv")); err == nil {
+		t.Fatal("untraceable algorithm accepted")
+	}
+	if err := writeTrace("", "", 100, 0, 4, 1, "sv", 0, filepath.Join(dir, "y.tsv")); err == nil {
+		t.Fatal("missing graph source accepted")
+	}
+}

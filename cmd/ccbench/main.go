@@ -1,0 +1,86 @@
+// Command ccbench regenerates every table and figure of the paper's
+// evaluation from this repository's implementations. Each experiment
+// prints rows/series matching the paper's (see DESIGN.md §4 for the
+// index and EXPERIMENTS.md for recorded paper-vs-measured shapes).
+//
+// Examples:
+//
+//	ccbench -exp table3
+//	ccbench -exp fig8a -scale 18 -runs 16
+//	ccbench -exp all -scale 14 -runs 3
+//	ccbench -exp fig6a -tsv > fig6a.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"afforest/internal/bench"
+	"afforest/internal/stats"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table2 | table3 | fig6a | fig6b | fig6c | fig7 | fig8a | fig8b | fig8c | ablation-rounds | ablation-sample | ablation-relabel | ablation-compress | ext-dist | ext-gpu | all")
+		scale    = flag.Int("scale", 0, "graph scale, ≈2^scale vertices (0 = default 16)")
+		runs     = flag.Int("runs", 0, "timed repetitions per configuration (0 = default 5; paper uses 16)")
+		seed     = flag.Uint64("seed", 42, "generator seed")
+		par      = flag.Int("p", 0, "parallelism (0 = GOMAXPROCS)")
+		validate = flag.Bool("validate", true, "validate every labeling against the oracle")
+		tsv      = flag.Bool("tsv", false, "emit TSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Runs: *runs, Seed: *seed, Parallelism: *par, Validate: *validate}
+
+	type experiment struct {
+		name string
+		run  func()
+	}
+	emit := func(t *stats.Table) {
+		if *tsv {
+			t.RenderTSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+	experiments := []experiment{
+		{"table2", func() { emit(bench.Table2(cfg)) }},
+		{"table3", func() { emit(bench.Table3(cfg)) }},
+		{"fig6a", func() { emit(bench.Fig6a(cfg)) }},
+		{"fig6b", func() { emit(bench.Fig6b(cfg)) }},
+		{"fig6c", func() { emit(bench.Fig6c(cfg)) }},
+		{"fig7", func() { fmt.Println(bench.Fig7(cfg).Render()) }},
+		{"fig8a", func() { emit(bench.Fig8a(cfg)) }},
+		{"fig8b", func() { emit(bench.Fig8b(cfg, nil)) }},
+		{"fig8c", func() { emit(bench.Fig8c(cfg)) }},
+		{"ablation-rounds", func() { emit(bench.AblationRounds(cfg)) }},
+		{"ablation-sample", func() { emit(bench.AblationSampleSize(cfg)) }},
+		{"ablation-relabel", func() { emit(bench.AblationRelabel(cfg)) }},
+		{"ablation-compress", func() { emit(bench.AblationCompress(cfg)) }},
+		{"ext-dist", func() { emit(bench.ExtDist(cfg)) }},
+		{"ext-gpu", func() { emit(bench.ExtGPU(cfg)) }},
+	}
+
+	selected := strings.Split(*exp, ",")
+	ran := 0
+	for _, want := range selected {
+		want = strings.TrimSpace(want)
+		for _, e := range experiments {
+			if want == "all" || want == e.name {
+				start := time.Now()
+				e.run()
+				fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.name, time.Since(start).Round(time.Millisecond))
+				ran++
+			}
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}

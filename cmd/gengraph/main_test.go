@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestBuildSuiteGraphs(t *testing.T) {
+	for _, name := range []string{"road", "twitter", "web", "kron", "urand", "osm-eur"} {
+		g, err := build(name, "", 9, 0, 0, 0, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+	}
+}
+
+func TestBuildFreeGenerators(t *testing.T) {
+	cases := []struct {
+		gen string
+		f   float64
+	}{
+		{"urand", 1}, {"urand-f", 0.5}, {"kron", 1}, {"road", 1},
+		{"twitter", 1}, {"web", 1}, {"regular", 1},
+	}
+	for _, tc := range cases {
+		g, err := build("", tc.gen, 9, 1000, 8, tc.f, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.gen, err)
+		}
+		if g.NumVertices() == 0 {
+			t.Fatalf("%s: empty", tc.gen)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build("road", "urand", 9, 100, 8, 1, 1); err == nil {
+		t.Fatal("mutually exclusive flags accepted")
+	}
+	if _, err := build("", "", 9, 100, 8, 1, 1); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := build("bogus", "", 9, 100, 8, 1, 1); err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+	if _, err := build("", "bogus", 9, 100, 8, 1, 1); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}

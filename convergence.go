@@ -1,0 +1,60 @@
+package afforest
+
+import (
+	"fmt"
+
+	"afforest/internal/core"
+)
+
+// SamplingStrategy names a subgraph partitioning order for convergence
+// measurement (the paper's Fig 6 comparison).
+type SamplingStrategy string
+
+// The four strategies of Section V-B.
+const (
+	StrategyRow      SamplingStrategy = "row"      // adjacency-matrix row blocks
+	StrategyEdge     SamplingStrategy = "edge"     // uniform random edge order
+	StrategyNeighbor SamplingStrategy = "neighbor" // vertex-neighbor rounds (the paper's)
+	StrategyOptimal  SamplingStrategy = "optimal"  // spanning-forest-first oracle
+)
+
+// Strategies lists all sampling strategies.
+func Strategies() []SamplingStrategy {
+	return []SamplingStrategy{StrategyRow, StrategyEdge, StrategyNeighbor, StrategyOptimal}
+}
+
+// ConvergencePoint is one sample of the convergence measures after a
+// batch of edges: Linkage is the fraction of possible tree merges
+// performed, Coverage the identified fraction of the largest component.
+type ConvergencePoint struct {
+	Batch          int
+	EdgesProcessed int64
+	PercentEdges   float64
+	Linkage        float64
+	Coverage       float64
+}
+
+// MeasureConvergence replays Afforest's link/compress under the given
+// edge-partitioning strategy, recording Linkage and Coverage after
+// every batch — the instrument behind the paper's Fig 6. Batches
+// controls the partitioning granularity for the row/edge/optimal
+// strategies (neighbor sampling always yields one batch per neighbor
+// rank).
+func MeasureConvergence(g *Graph, strategy SamplingStrategy, batches int, seed uint64) ([]ConvergencePoint, error) {
+	s, err := core.StrategyByName(string(strategy))
+	if err != nil {
+		return nil, fmt.Errorf("afforest: %w", err)
+	}
+	raw := core.MeasureConvergence(g.csr, s, batches, seed, 0)
+	out := make([]ConvergencePoint, len(raw))
+	for i, p := range raw {
+		out[i] = ConvergencePoint{
+			Batch:          p.Batch,
+			EdgesProcessed: p.EdgesProcessed,
+			PercentEdges:   p.PercentEdges,
+			Linkage:        p.Linkage,
+			Coverage:       p.Coverage,
+		}
+	}
+	return out, nil
+}

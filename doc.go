@@ -1,0 +1,23 @@
+// Package afforest is a parallel graph-connectivity library implementing
+// the Afforest algorithm of Sutton, Ben-Nun and Barak ("Optimizing
+// Parallel Graph Connectivity Computation via Subgraph Sampling",
+// IPDPS 2018), together with the baseline algorithms the paper evaluates
+// against (Shiloach–Vishkin, Label Propagation, BFS-CC, and
+// direction-optimizing BFS-CC) and the synthetic graph generators of its
+// benchmark suite.
+//
+// Afforest extends Shiloach–Vishkin with per-edge local convergence
+// (lock-free link/compress), vertex-neighbor subgraph sampling, and
+// large-component skipping, approaching O(|V|) work on graphs with a
+// giant component while remaining exact on any undirected graph.
+//
+// # Quick start
+//
+//	g := afforest.GenerateURand(1<<20, 16, 42)
+//	res := afforest.ConnectedComponents(g, afforest.Options{})
+//	fmt.Println(res.NumComponents())
+//
+// The zero Options value selects the Afforest algorithm with the
+// paper's default configuration (two neighbor-sampling rounds,
+// component skipping, all CPUs).
+package afforest

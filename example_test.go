@@ -1,0 +1,77 @@
+package afforest_test
+
+import (
+	"fmt"
+
+	"afforest"
+)
+
+// ExampleConnectedComponents demonstrates the three-call workflow:
+// build a graph, run Afforest, query the result.
+func ExampleConnectedComponents() {
+	g := afforest.BuildGraph([]afforest.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, // component {0,1,2}
+		{U: 3, V: 4}, // component {3,4}
+	}, afforest.BuildOptions{NumVertices: 6})
+
+	res := afforest.ConnectedComponents(g, afforest.Options{})
+	fmt.Println("components:", res.NumComponents())
+	fmt.Println("0~2 connected:", res.SameComponent(0, 2))
+	fmt.Println("2~3 connected:", res.SameComponent(2, 3))
+	fmt.Println("sizes:", res.ComponentSizes())
+	// Output:
+	// components: 3
+	// 0~2 connected: true
+	// 2~3 connected: false
+	// sizes: [3 2 1]
+}
+
+// ExampleOptions shows selecting a baseline algorithm for comparison.
+func ExampleOptions() {
+	g := afforest.GenerateURand(1000, 8, 42)
+	aff := afforest.ConnectedComponents(g, afforest.Options{Algorithm: afforest.AlgoAfforest})
+	sv := afforest.ConnectedComponents(g, afforest.Options{Algorithm: afforest.AlgoSV})
+	fmt.Println("agree:", aff.NumComponents() == sv.NumComponents())
+	// Output:
+	// agree: true
+}
+
+// ExampleSpanningForest extracts a spanning forest via Afforest's
+// merge-tracking link.
+func ExampleSpanningForest() {
+	g := afforest.BuildGraph([]afforest.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, // triangle: one edge is redundant
+	}, afforest.BuildOptions{})
+	sf := afforest.SpanningForest(g, 1)
+	fmt.Println("forest edges:", len(sf))
+	// Output:
+	// forest edges: 2
+}
+
+// ExampleIncremental demonstrates online connectivity over streaming
+// edges.
+func ExampleIncremental() {
+	inc := afforest.NewIncremental(5)
+	fmt.Println("components:", inc.NumComponents())
+	inc.AddEdge(0, 1)
+	inc.AddEdge(3, 4)
+	fmt.Println("components:", inc.NumComponents())
+	fmt.Println("0~1:", inc.Connected(0, 1), " 1~3:", inc.Connected(1, 3))
+	// Output:
+	// components: 5
+	// components: 3
+	// 0~1: true  1~3: false
+}
+
+// ExampleMeasureConvergence reproduces a miniature Fig 6a curve.
+func ExampleMeasureConvergence() {
+	g := afforest.GenerateURand(2000, 8, 1)
+	pts, err := afforest.MeasureConvergence(g, afforest.StrategyNeighbor, 0, 1)
+	if err != nil {
+		panic(err)
+	}
+	last := pts[len(pts)-1]
+	fmt.Printf("final linkage %.1f at %.0f%% of edges\n", last.Linkage, last.PercentEdges)
+	// Output:
+	// final linkage 1.0 at 100% of edges
+}

@@ -1,0 +1,48 @@
+// Gpucostmodel reproduces the paper's GPU comparison (§VI-B) on a
+// machine without a GPU: the warp-lockstep cost model of
+// internal/gpusim replays GPU-style kernels for Soman et al.'s
+// edge-list SV, a CSR-based SV, and Afforest, reporting the memory
+// transactions, warp utilization, and coalescing that decide their
+// relative performance on real hardware.
+package main
+
+import (
+	"fmt"
+
+	"afforest/internal/gen"
+	"afforest/internal/gpusim"
+	"afforest/internal/graph"
+)
+
+func main() {
+	cfg := gpusim.DefaultConfig()
+	fmt.Printf("device model: warp=%d lanes, %dB memory transactions\n\n", cfg.WarpSize, cfg.LineBytes)
+
+	graphs := []struct {
+		name string
+		g    *graph.CSR
+	}{
+		{"kron (power law)", gen.Kronecker(13, 16, gen.Graph500, 3)},
+		{"road (narrow degree)", gen.Road(1<<13, 3)},
+	}
+	for _, entry := range graphs {
+		fmt.Printf("--- %s: %d vertices, %d edges ---\n", entry.name, entry.g.NumVertices(), entry.g.NumEdges())
+		results := []struct {
+			name string
+			res  gpusim.Result
+		}{
+			{"afforest-gpu", gpusim.Afforest(entry.g, 2, true, cfg)},
+			{"sv-edgelist (Soman)", gpusim.SVEdgeList(entry.g, cfg)},
+			{"sv-csr", gpusim.SVCSR(entry.g, cfg)},
+		}
+		for _, r := range results {
+			m := r.res.Metrics
+			fmt.Printf("%-20s transactions=%-9d utilization=%5.1f%%  coalescing=%.2f\n",
+				r.name, m.Transactions, 100*m.Utilization(cfg.WarpSize), m.CoalescingFactor())
+		}
+		fmt.Println()
+	}
+	fmt.Println("expected shapes: afforest posts the fewest transactions everywhere;")
+	fmt.Println("edge-list SV keeps utilization high on power-law graphs; CSR SV")
+	fmt.Println("recovers on narrow-degree road networks (the paper's osm-eur case).")
+}

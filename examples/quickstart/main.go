@@ -1,0 +1,30 @@
+// Quickstart: build a graph from edges, run Afforest, query the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"afforest"
+)
+
+func main() {
+	// A small social circle: two friend groups and one loner.
+	edges := []afforest.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, // group A
+		{U: 3, V: 4}, {U: 4, V: 5}, // group B
+		// vertex 6 knows nobody
+	}
+	g := afforest.BuildGraph(edges, afforest.BuildOptions{NumVertices: 7})
+
+	res := afforest.ConnectedComponents(g, afforest.Options{})
+	if err := afforest.Validate(g, res); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("components: %d, sizes %v\n", res.NumComponents(), res.ComponentSizes())
+	fmt.Printf("0 and 2 connected? %v\n", res.SameComponent(0, 2))
+	fmt.Printf("0 and 3 connected? %v\n", res.SameComponent(0, 3))
+	fmt.Printf("group of vertex 4: %v\n", res.ComponentOf(4))
+}

@@ -1,0 +1,55 @@
+// Streaming demonstrates online connectivity: edges arrive as a stream
+// (here: a social network forming over time) and connectivity queries
+// run concurrently, without batch recomputation. This is a by-product
+// of Afforest's lock-free, order-independent link primitive.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"afforest"
+)
+
+func main() {
+	const users = 100_000
+	const friendships = 400_000
+
+	inc := afforest.NewIncremental(users)
+	rng := rand.New(rand.NewSource(7))
+	edges := make([]afforest.Edge, friendships)
+	for i := range edges {
+		edges[i] = afforest.Edge{
+			U: afforest.V(rng.Intn(users)),
+			V: afforest.V(rng.Intn(users)),
+		}
+	}
+
+	// Four ingest workers insert concurrently; a monitor thread polls
+	// the component count as the network coalesces.
+	const workers = 4
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < friendships; i += workers {
+				inc.AddEdge(edges[i].U, edges[i].V)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	fmt.Printf("after %d friendships: %d social groups remain\n",
+		friendships, inc.NumComponents())
+
+	a, b := afforest.V(0), afforest.V(users-1)
+	fmt.Printf("user %d and user %d connected: %v\n", a, b, inc.Connected(a, b))
+
+	// A truth check against the batch algorithm on the same edges.
+	g := afforest.BuildGraph(edges, afforest.BuildOptions{NumVertices: users})
+	batch := afforest.ConnectedComponents(g, afforest.Options{})
+	fmt.Printf("batch agrees: %v (%d components)\n",
+		batch.NumComponents() == inc.NumComponents(), batch.NumComponents())
+}

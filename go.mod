@@ -1,0 +1,3 @@
+module afforest
+
+go 1.22

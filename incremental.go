@@ -1,0 +1,37 @@
+package afforest
+
+import "afforest/internal/core"
+
+// Incremental is an online connectivity structure: stream edges in
+// (from any number of goroutines) and answer connectivity queries at
+// any point. It is built from Afforest's lock-free link primitive —
+// Theorem 1's order-independence means interleaving queries with
+// insertions needs no batch re-runs.
+type Incremental struct {
+	inner *core.Incremental
+}
+
+// NewIncremental returns an online structure over n isolated vertices.
+func NewIncremental(n int) *Incremental {
+	return &Incremental{inner: core.NewIncremental(n)}
+}
+
+// AddEdge records the undirected edge {u, v}; it returns true when the
+// edge merged two previously disconnected components. Safe for
+// concurrent use.
+func (inc *Incremental) AddEdge(u, v V) bool { return inc.inner.AddEdge(u, v) }
+
+// Connected reports whether u and v are currently connected. A true
+// answer is durable (components never split).
+func (inc *Incremental) Connected(u, v V) bool { return inc.inner.Connected(u, v) }
+
+// NumComponents returns the current component count.
+func (inc *Incremental) NumComponents() int { return inc.inner.NumComponents() }
+
+// NumVertices returns n.
+func (inc *Incremental) NumVertices() int { return inc.inner.NumVertices() }
+
+// Labels flattens the structure and returns canonical per-vertex
+// component labels (minimum vertex id per component). The slice aliases
+// live state; copy it if insertion continues.
+func (inc *Incremental) Labels() []V { return inc.inner.Labels(0) }

@@ -1,0 +1,144 @@
+package baselines
+
+import (
+	"sync/atomic"
+
+	"afforest/internal/concurrent"
+	"afforest/internal/graph"
+)
+
+// BFSCC identifies components by repeated parallel breadth-first
+// search: claim the lowest unvisited vertex as a root, flood its
+// component level-synchronously in parallel, repeat. Each edge is
+// visited exactly once (optimal work), but components are explored
+// serially — the weakness Fig 8c exposes when components are many.
+func BFSCC(g *graph.CSR, parallelism int) []graph.V {
+	n := g.NumVertices()
+	labels := make([]uint32, n)
+	for v := range labels {
+		labels[v] = notVisited
+	}
+	frontier := make([]graph.V, 0, 1024)
+	for root := 0; root < n; root++ {
+		if atomic.LoadUint32(&labels[root]) != notVisited {
+			continue
+		}
+		labels[root] = uint32(root)
+		frontier = append(frontier[:0], graph.V(root))
+		for len(frontier) > 0 {
+			frontier = topDownStep(g, labels, frontier, uint32(root), parallelism)
+		}
+	}
+	return labels
+}
+
+const notVisited = ^uint32(0)
+
+// topDownStep expands the frontier one level in parallel, labeling
+// newly discovered vertices and returning the next frontier.
+func topDownStep(g *graph.CSR, labels []uint32, frontier []graph.V, label uint32, parallelism int) []graph.V {
+	workers := concurrent.Procs(parallelism)
+	nextLocal := make([][]graph.V, workers)
+	concurrent.ForWorker(len(frontier), parallelism, 64, func(i, w int) {
+		u := frontier[i]
+		for _, v := range g.Neighbors(u) {
+			// Claim v with CAS so exactly one discoverer appends it.
+			if atomic.LoadUint32(&labels[v]) == notVisited &&
+				atomic.CompareAndSwapUint32(&labels[v], notVisited, label) {
+				nextLocal[w] = append(nextLocal[w], v)
+			}
+		}
+	})
+	next := frontier[:0]
+	for _, part := range nextLocal {
+		next = append(next, part...)
+	}
+	return next
+}
+
+// DOBFSCC is direction-optimizing BFS-CC [1], [7] — the state of the
+// art the paper compares against on low-diameter giant-component
+// graphs. Each BFS level chooses between the classic top-down step and
+// a bottom-up step (every unvisited vertex scans its neighbors for a
+// frontier member and claims itself), using Beamer's heuristic: go
+// bottom-up when the frontier's outgoing edges exceed 1/alpha of the
+// unexplored edges, return top-down when the frontier shrinks below
+// |V|/beta. Bottom-up steps can skip most edge inspections on giant
+// components, which is how DOBFS beats everything on urand (Fig 8a)
+// and large-f graphs (Fig 8c).
+func DOBFSCC(g *graph.CSR, parallelism int) []graph.V {
+	const alpha, beta = 14, 24
+	n := g.NumVertices()
+	labels := make([]uint32, n)
+	for v := range labels {
+		labels[v] = notVisited
+	}
+	frontierBitmap := concurrent.NewBitmap(n)
+	frontier := make([]graph.V, 0, 1024)
+
+	frontierEdges := func(f []graph.V) int64 {
+		return concurrent.SumInt64(len(f), parallelism, func(i int) int64 {
+			return int64(g.Degree(f[i]))
+		})
+	}
+
+	for root := 0; root < n; root++ {
+		if labels[root] != notVisited {
+			continue
+		}
+		label := uint32(root)
+		labels[root] = label
+		frontier = append(frontier[:0], graph.V(root))
+		remainingEdges := g.NumArcs()
+		bottomUp := false
+		for len(frontier) > 0 {
+			fEdges := frontierEdges(frontier)
+			remainingEdges -= fEdges
+			if !bottomUp && fEdges > remainingEdges/alpha {
+				bottomUp = true
+			} else if bottomUp && int64(len(frontier)) < int64(n)/beta {
+				bottomUp = false
+			}
+			if bottomUp {
+				// Load the frontier into a bitmap once per switch; we
+				// rebuild each level for simplicity (cost is O(frontier)).
+				frontierBitmap.Reset()
+				concurrent.For(len(frontier), parallelism, func(i int) {
+					frontierBitmap.Set(int(frontier[i]))
+				})
+				frontier = bottomUpStep(g, labels, frontierBitmap, frontier, label, parallelism)
+			} else {
+				frontier = topDownStep(g, labels, frontier, label, parallelism)
+			}
+		}
+	}
+	return labels
+}
+
+// bottomUpStep performs Beamer's bottom-up level: every unvisited
+// vertex scans its own neighborhood for a frontier member, claiming
+// itself on the first hit (no atomics needed — each vertex writes only
+// its own label). Returns the next frontier as a vertex list.
+func bottomUpStep(g *graph.CSR, labels []uint32, frontierBM *concurrent.Bitmap,
+	frontier []graph.V, label uint32, parallelism int) []graph.V {
+	n := g.NumVertices()
+	workers := concurrent.Procs(parallelism)
+	nextLocal := make([][]graph.V, workers)
+	concurrent.ForWorker(n, parallelism, 1024, func(i, w int) {
+		if atomic.LoadUint32(&labels[i]) != notVisited {
+			return
+		}
+		for _, u := range g.Neighbors(graph.V(i)) {
+			if frontierBM.Get(int(u)) {
+				atomic.StoreUint32(&labels[i], label)
+				nextLocal[w] = append(nextLocal[w], graph.V(i))
+				break
+			}
+		}
+	})
+	next := frontier[:0]
+	for _, part := range nextLocal {
+		next = append(next, part...)
+	}
+	return next
+}

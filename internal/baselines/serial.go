@@ -1,0 +1,65 @@
+package baselines
+
+import "afforest/internal/graph"
+
+// SerialUnionFind is the classic sequential disjoint-set algorithm with
+// path halving, canonicalized to minimum-id labels. It serves as the
+// single-threaded reference point for speedup calculations and as an
+// independent correctness oracle (alongside graph.SequentialCC).
+func SerialUnionFind(g *graph.CSR, _ int) []graph.V {
+	n := g.NumVertices()
+	parent := make([]graph.V, n)
+	for v := range parent {
+		parent[v] = graph.V(v)
+	}
+	find := func(v graph.V) graph.V {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]] // path halving
+			v = parent[v]
+		}
+		return v
+	}
+	for u := graph.V(0); int(u) < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v { // each undirected edge once
+				ru, rv := find(u), find(v)
+				if ru == rv {
+					continue
+				}
+				if ru < rv { // union under the smaller id keeps labels minimal
+					parent[rv] = ru
+				} else {
+					parent[ru] = rv
+				}
+			}
+		}
+	}
+	labels := make([]graph.V, n)
+	for v := range labels {
+		labels[v] = find(graph.V(v))
+	}
+	return labels
+}
+
+// Algorithm is a named connected-components implementation with a
+// common signature, the unit the benchmark harness sweeps over.
+type Algorithm struct {
+	Name string
+	// Run computes per-vertex component labels using at most
+	// `parallelism` workers (0 = GOMAXPROCS).
+	Run func(g *graph.CSR, parallelism int) []graph.V
+}
+
+// All returns every baseline algorithm in this package. Afforest itself
+// is registered by the harness, which wires in internal/core.
+func All() []Algorithm {
+	return []Algorithm{
+		{Name: "sv", Run: SV},
+		{Name: "sv-edgelist", Run: SVEdgeList},
+		{Name: "lp", Run: LP},
+		{Name: "lp-datadriven", Run: LPDataDriven},
+		{Name: "bfs", Run: BFSCC},
+		{Name: "dobfs", Run: DOBFSCC},
+		{Name: "serial-uf", Run: SerialUnionFind},
+	}
+}

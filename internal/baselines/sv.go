@@ -1,0 +1,242 @@
+// Package baselines implements the comparison algorithms of the paper's
+// evaluation (Section VI): the Shiloach–Vishkin tree-hooking algorithm
+// as implemented by the GAP Benchmark Suite (Fig 1), an edge-list
+// ("GPU-style", Soman et al.) SV variant, Min-Label Propagation in both
+// synchronous and data-driven forms, BFS-CC, and direction-optimizing
+// DOBFS-CC. A sequential union-find rounds out the set as a serial
+// reference.
+//
+// Every algorithm returns per-vertex component labels; all of them
+// canonicalize to the minimum vertex id per component except the BFS
+// variants, whose labels are BFS roots (still minimal in their
+// component because roots are claimed in ascending order).
+package baselines
+
+import (
+	"sync/atomic"
+
+	"afforest/internal/concurrent"
+	"afforest/internal/graph"
+)
+
+// SV is the Shiloach–Vishkin algorithm exactly as listed in Fig 1 of
+// the paper (the GAP implementation): alternating parallel hook and
+// shortcut phases over the full edge set until no hook fires. Total
+// work is O(log(|V|)·|E|) — every edge is reprocessed each iteration,
+// the inefficiency Afforest removes.
+func SV(g *graph.CSR, parallelism int) []graph.V {
+	labels, _ := SVInstrumented(g, parallelism)
+	return labels
+}
+
+// SVInstrumented runs SV and reports the number of outer iterations
+// (Table II's "iterations" column for SV).
+func SVInstrumented(g *graph.CSR, parallelism int) ([]graph.V, int) {
+	n := g.NumVertices()
+	pi := make([]uint32, n)
+	for v := range pi {
+		pi[v] = uint32(v)
+	}
+	iterations := 0
+	var change atomic.Bool
+	change.Store(true)
+	for change.Load() {
+		change.Store(false)
+		iterations++
+		// Hook phase (Fig 1 lines 5–12): for every arc, if the parents
+		// differ, hook the higher parent under the lower — but only if
+		// the higher parent is currently a root. Competing hooks race;
+		// any winner preserves π(x) ≤ x, so no cycles form and at
+		// least one competitor succeeds per iteration.
+		concurrent.ForGrain(n, parallelism, 512, func(i int) {
+			u := graph.V(i)
+			for _, v := range g.Neighbors(u) {
+				pu := atomic.LoadUint32(&pi[u])
+				pv := atomic.LoadUint32(&pi[v])
+				if pu == pv {
+					continue
+				}
+				high, low := pu, pv
+				if high < low {
+					high, low = low, high
+				}
+				if atomic.LoadUint32(&pi[high]) == high {
+					atomic.StoreUint32(&pi[high], low)
+					change.Store(true)
+				}
+			}
+		})
+		// Shortcut phase (Fig 1 lines 13–16): full pointer jumping.
+		concurrent.ForGrain(n, parallelism, 512, func(i int) {
+			v := graph.V(i)
+			for {
+				parent := atomic.LoadUint32(&pi[v])
+				grand := atomic.LoadUint32(&pi[parent])
+				if parent == grand {
+					break
+				}
+				atomic.StoreUint32(&pi[v], grand)
+			}
+		})
+	}
+	return pi, iterations
+}
+
+// SVMaxDepthPerIteration runs SV while recording, after each hook phase
+// (before its shortcut), the maximum tree depth in π — the Table II
+// depth column.
+func SVMaxDepthPerIteration(g *graph.CSR, parallelism int) (labels []graph.V, iterations, maxDepth int) {
+	n := g.NumVertices()
+	pi := make([]uint32, n)
+	for v := range pi {
+		pi[v] = uint32(v)
+	}
+	depthOf := func(v graph.V) int {
+		d := 0
+		for {
+			p := pi[v]
+			if p == v {
+				return d
+			}
+			v = p
+			d++
+		}
+	}
+	var change atomic.Bool
+	change.Store(true)
+	for change.Load() {
+		change.Store(false)
+		iterations++
+		concurrent.ForGrain(n, parallelism, 512, func(i int) {
+			u := graph.V(i)
+			for _, v := range g.Neighbors(u) {
+				pu := atomic.LoadUint32(&pi[u])
+				pv := atomic.LoadUint32(&pi[v])
+				if pu == pv {
+					continue
+				}
+				high, low := pu, pv
+				if high < low {
+					high, low = low, high
+				}
+				if atomic.LoadUint32(&pi[high]) == high {
+					atomic.StoreUint32(&pi[high], low)
+					change.Store(true)
+				}
+			}
+		})
+		for v := 0; v < n; v++ { // measurement: sequential, racy-free point
+			if d := depthOf(graph.V(v)); d > maxDepth {
+				maxDepth = d
+			}
+		}
+		concurrent.ForGrain(n, parallelism, 512, func(i int) {
+			v := graph.V(i)
+			for {
+				parent := atomic.LoadUint32(&pi[v])
+				grand := atomic.LoadUint32(&pi[parent])
+				if parent == grand {
+					break
+				}
+				atomic.StoreUint32(&pi[v], grand)
+			}
+		})
+	}
+	return pi, iterations, maxDepth
+}
+
+// SVEdgeList is the GPU-style SV of Soman et al. [15], the paper's GPU
+// baseline: instead of CSR vertex-centric traversal it streams a flat
+// arc list (COO), assigning homogeneous per-arc work — the layout that
+// trades extra memory loads for data-parallel regularity on GPUs. On
+// the CPU substrate this reproduces the same work-distribution axis
+// (edge-list streaming vs CSR) the paper's GPU comparison explores.
+func SVEdgeList(g *graph.CSR, parallelism int) []graph.V {
+	n := g.NumVertices()
+	src := g.ArcSources()
+	dst := g.Targets()
+	pi := make([]uint32, n)
+	for v := range pi {
+		pi[v] = uint32(v)
+	}
+	var change atomic.Bool
+	change.Store(true)
+	for change.Load() {
+		change.Store(false)
+		concurrent.ForGrain(len(dst), parallelism, 4096, func(k int) {
+			pu := atomic.LoadUint32(&pi[src[k]])
+			pv := atomic.LoadUint32(&pi[dst[k]])
+			if pu == pv {
+				return
+			}
+			high, low := pu, pv
+			if high < low {
+				high, low = low, high
+			}
+			if atomic.LoadUint32(&pi[high]) == high {
+				atomic.StoreUint32(&pi[high], low)
+				change.Store(true)
+			}
+		})
+		concurrent.ForGrain(n, parallelism, 4096, func(i int) {
+			v := graph.V(i)
+			for {
+				parent := atomic.LoadUint32(&pi[v])
+				grand := atomic.LoadUint32(&pi[parent])
+				if parent == grand {
+					break
+				}
+				atomic.StoreUint32(&pi[v], grand)
+			}
+		})
+	}
+	return pi
+}
+
+// SVWorkByWorker models SV's work distribution over `workers` logical
+// workers the same way core.WorkByWorker does for Afforest: the
+// algorithm executes deterministically while vertex chunks are
+// attributed round-robin to logical workers, and the per-worker arc
+// inspection counts bound achievable strong scaling (total / max).
+func SVWorkByWorker(g *graph.CSR, workers int) []int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	const grain = 512
+	n := g.NumVertices()
+	counts := make([]int64, workers)
+	pi := make([]uint32, n)
+	for v := range pi {
+		pi[v] = uint32(v)
+	}
+	change := true
+	for change {
+		change = false
+		for i := 0; i < n; i++ {
+			u := graph.V(i)
+			w := (i / grain) % workers
+			for _, v := range g.Neighbors(u) {
+				counts[w]++
+				pu := pi[u]
+				pv := pi[v]
+				if pu == pv {
+					continue
+				}
+				high, low := pu, pv
+				if high < low {
+					high, low = low, high
+				}
+				if pi[high] == high {
+					pi[high] = low
+					change = true
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			for pi[v] != pi[pi[v]] {
+				pi[v] = pi[pi[v]]
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"afforest/internal/gen"
+	"afforest/internal/memtrace"
+	"afforest/internal/stats"
+)
+
+// Fig7Result bundles the three memory-access-pattern artifacts of
+// Fig 7: SV (a), Afforest without component skipping (b), and full
+// Afforest (c), each as an ASCII heat-map plus per-worker scatter, with
+// a quantitative per-phase access summary.
+type Fig7Result struct {
+	Panels  []Fig7Panel
+	Summary *stats.Table
+	// Cache quantifies §V-C's locality claim: trace replay through a
+	// simulated cache sized below π, per algorithm.
+	Cache *stats.Table
+}
+
+// Fig7Panel is one subfigure.
+type Fig7Panel struct {
+	Name    string
+	Heatmap string
+	Scatter string
+}
+
+// Fig7 reproduces Fig 7 on the paper's trace graph: urand with
+// |V| = 2^12 and |E| ≈ 2^19 (average degree 256), traced with a fixed
+// small worker count so the scatter is legible.
+func Fig7(cfg Config) *Fig7Result {
+	cfg = cfg.withDefaults()
+	const scale = 12
+	const workers = 8
+	// |E| = 2^19 undirected edges over 2^12 vertices, as in §V-C.
+	g := gen.URand(1<<scale, 1<<19, cfg.Seed)
+
+	summary := stats.NewTable("Fig 7: π accesses by phase (urand |V|=2^12 |E|=2^19)",
+		"algorithm", "total", "init", "link", "compress", "find", "hook")
+	cacheTable := stats.NewTable("§V-C locality: trace replay through a 4 KiB cache (π = 16 KiB)",
+		"algorithm", "accesses", "misses", "hit_rate_%")
+	// Cache smaller than π so locality, not capacity, decides hits.
+	cacheCfg := memtrace.CacheConfig{Sets: 16, Ways: 4, LineBytes: 64, EntrySize: 4}
+
+	var res Fig7Result
+	add := func(name string, tr *memtrace.Trace) {
+		h := tr.BuildHeatmap(32, 96).Render()
+		s := tr.BuildWorkerScatter(32, 96).Render()
+		res.Panels = append(res.Panels, Fig7Panel{Name: name, Heatmap: h, Scatter: s})
+		ps := tr.PhaseSummary()
+		summary.AddRow(name, len(tr.Accesses),
+			ps[memtrace.PhaseInit], ps[memtrace.PhaseLink], ps[memtrace.PhaseCompress],
+			ps[memtrace.PhaseFind], ps[memtrace.PhaseHook])
+		cs := tr.SimulateCache(cacheCfg)
+		cacheTable.AddRow(name, cs.Accesses, cs.Misses, fmt.Sprintf("%.1f", 100*cs.HitRate()))
+	}
+
+	trSV, _ := memtrace.TracedSV(g, workers)
+	add("(a) shiloach-vishkin", trSV)
+	trNoSkip, _ := memtrace.TracedAfforest(g, 2, false, workers)
+	add("(b) afforest w/o skip", trNoSkip)
+	trFull, _ := memtrace.TracedAfforest(g, 2, true, workers)
+	add("(c) afforest", trFull)
+
+	res.Summary = summary
+	res.Cache = cacheTable
+	return &res
+}
+
+// Render flattens the result into printable text.
+func (r *Fig7Result) Render() string {
+	var sb strings.Builder
+	for _, p := range r.Panels {
+		fmt.Fprintf(&sb, "--- %s: access density (rows = π address bins, cols = time) ---\n%s\n", p.Name, p.Heatmap)
+		fmt.Fprintf(&sb, "--- %s: last-touching worker ---\n%s\n", p.Name, p.Scatter)
+	}
+	r.Summary.Render(&sb)
+	sb.WriteString("\n")
+	r.Cache.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,76 @@
+package concurrent
+
+// ExclusiveScan computes the exclusive prefix sum of src into a new slice
+// of length len(src)+1: out[0] = 0, out[i] = src[0] + ... + src[i-1]. The
+// final element out[len(src)] is the total. This is the core primitive of
+// the CSR builder (degree counting -> row offsets).
+//
+// The scan runs in two parallel passes (per-block sums, then per-block
+// offset fix-up), matching the classic work-efficient formulation.
+func ExclusiveScan(src []int64, p int) []int64 {
+	n := len(src)
+	out := make([]int64, n+1)
+	if n == 0 {
+		return out
+	}
+	p = Procs(p)
+	const minBlock = 4096
+	if p <= 1 || n < 2*minBlock {
+		var run int64
+		for i, v := range src {
+			out[i] = run
+			run += v
+		}
+		out[n] = run
+		return out
+	}
+	blocks := p * 4
+	if blocks > (n+minBlock-1)/minBlock {
+		blocks = (n + minBlock - 1) / minBlock
+	}
+	blockSum := make([]int64, blocks)
+	// Pass 1: local exclusive scans within each block.
+	ForStatic(blocks, blocks, func(blo, bhi, _ int) {
+		for b := blo; b < bhi; b++ {
+			lo := n * b / blocks
+			hi := n * (b + 1) / blocks
+			var run int64
+			for i := lo; i < hi; i++ {
+				out[i] = run
+				run += src[i]
+			}
+			blockSum[b] = run
+		}
+	})
+	// Sequential scan of block sums (blocks is tiny).
+	var run int64
+	for b := 0; b < blocks; b++ {
+		s := blockSum[b]
+		blockSum[b] = run
+		run += s
+	}
+	out[n] = run
+	// Pass 2: add block offsets.
+	ForStatic(blocks, blocks, func(blo, bhi, _ int) {
+		for b := blo; b < bhi; b++ {
+			lo := n * b / blocks
+			hi := n * (b + 1) / blocks
+			off := blockSum[b]
+			if off == 0 {
+				continue
+			}
+			for i := lo; i < hi; i++ {
+				out[i] += off
+			}
+		}
+	})
+	return out
+}
+
+// ExclusiveScanInts is ExclusiveScan for int32 inputs, the degree type
+// used by the CSR builder.
+func ExclusiveScanInts(src []int32, p int) []int64 {
+	tmp := make([]int64, len(src))
+	For(len(src), p, func(i int) { tmp[i] = int64(src[i]) })
+	return ExclusiveScan(tmp, p)
+}

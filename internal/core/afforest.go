@@ -1,0 +1,175 @@
+package core
+
+import (
+	"afforest/internal/concurrent"
+	"afforest/internal/graph"
+)
+
+// Options configures an Afforest run (Fig 5).
+type Options struct {
+	// NeighborRounds is the number of vertex-neighbor sampling rounds
+	// before the skip phase. The paper's analysis (Section V-B) sets
+	// the default to 2. Zero means the default; negative disables
+	// sampling (the final phase then processes every edge).
+	NeighborRounds int
+
+	// SkipLargest enables Theorem 3's large-component skipping. When
+	// false the final phase processes every remaining edge ("Afforest
+	// w/o component skipping" in Figs 7b and 8b).
+	SkipLargest bool
+
+	// SampleSize is the number of random π entries inspected to find
+	// the most frequent intermediate component (Fig 5 line 10). Zero
+	// means the default 1024.
+	SampleSize int
+
+	// Parallelism bounds the number of worker goroutines; 0 means
+	// GOMAXPROCS.
+	Parallelism int
+
+	// Seed drives the probabilistic most-frequent-element search.
+	Seed uint64
+
+	// HalvingCompress replaces the full compress between link phases
+	// with single path-halving rounds (the cheaper-but-shallower
+	// variant measured by the compress ablation). The final compress is
+	// always the full one, so results are identical.
+	HalvingCompress bool
+}
+
+// DefaultOptions returns the configuration used throughout the paper's
+// evaluation: two neighbor rounds with component skipping enabled.
+func DefaultOptions() Options {
+	return Options{NeighborRounds: 2, SkipLargest: true}
+}
+
+func (o Options) rounds() int {
+	switch {
+	case o.NeighborRounds == 0:
+		return 2
+	case o.NeighborRounds < 0:
+		return 0
+	default:
+		return o.NeighborRounds
+	}
+}
+
+func (o Options) sampleSize() int {
+	if o.SampleSize <= 0 {
+		return 1024
+	}
+	return o.SampleSize
+}
+
+// Run executes the complete Afforest algorithm of Fig 5 on g and
+// returns the flattened π: a labeling where ℓ(v) = ℓ(u) iff u and v are
+// connected, with each label being the minimum vertex id of its
+// component (a consequence of Invariant 1).
+func Run(g *graph.CSR, opt Options) Parent {
+	n := g.NumVertices()
+	p := NewParent(n)
+	if n == 0 {
+		return p
+	}
+	rounds := opt.rounds()
+
+	// Phase 1: neighbor-sampling rounds (Fig 5 lines 2–9). Round r
+	// links each vertex to its r-th neighbor, followed by a full
+	// compress so the next round's links walk depth-1 trees.
+	for r := 0; r < rounds; r++ {
+		parallelFor(n, opt.Parallelism, func(i int) {
+			u := graph.V(i)
+			if r < g.Degree(u) {
+				Link(p, u, g.Neighbor(u, r))
+			}
+		})
+		if opt.HalvingCompress {
+			CompressHalveAll(p, opt.Parallelism)
+		} else {
+			CompressAll(p, opt.Parallelism)
+		}
+	}
+
+	// Phase 2: probabilistic search for the largest intermediate
+	// component (Fig 5 line 10).
+	var c graph.V
+	skip := opt.SkipLargest
+	if skip {
+		c = SampleFrequentElement(p, opt.sampleSize(), opt.Seed)
+	}
+
+	// Phase 3: process the remaining edges — neighbors beyond the
+	// sampled rounds — skipping vertices already inside c (Fig 5 lines
+	// 11–15; Theorem 3 guarantees the cross edges are seen from their
+	// other endpoint).
+	parallelFor(n, opt.Parallelism, func(i int) {
+		u := graph.V(i)
+		if skip && p.Get(u) == c {
+			return
+		}
+		deg := g.Degree(u)
+		for k := rounds; k < deg; k++ {
+			Link(p, u, g.Neighbor(u, k))
+		}
+	})
+
+	// Phase 4: final compress (Fig 5 lines 16–18) flattens every tree
+	// to depth one; π is now the component labeling.
+	CompressAll(p, opt.Parallelism)
+	return p
+}
+
+// SampleFrequentElement estimates the most frequent value in π by
+// inspecting `samples` uniformly random entries (Fig 5 line 10). After
+// a compress pass all trees are depth-1, so π values are component
+// representatives and the mode of the sample identifies the largest
+// intermediate component with high probability. The estimate only
+// affects performance, never correctness (Theorem 3 holds for any
+// choice of component).
+func SampleFrequentElement(p Parent, samples int, seed uint64) graph.V {
+	n := len(p)
+	if n == 0 {
+		return 0
+	}
+	if samples > n {
+		samples = n
+	}
+	counts := make(map[graph.V]int, samples)
+	s := seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	best, bestCount := graph.V(0), -1
+	for i := 0; i < samples; i++ {
+		// SplitMix64 step inlined; this sampling is sequential and
+		// cheap relative to the link phases (Fig 7c's "F" section).
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		v := p.Get(graph.V(z % uint64(n)))
+		counts[v]++
+		if counts[v] > bestCount {
+			best, bestCount = v, counts[v]
+		}
+	}
+	return best
+}
+
+// parallelFor is the vertex-loop scheduler shared by the core phases:
+// dynamic chunks large enough to amortize scheduling but small enough
+// to balance skewed degree distributions.
+func parallelFor(n, parallelism int, body func(i int)) {
+	concurrent.ForGrain(n, parallelism, 512, body)
+}
+
+// parallelForWorker is parallelFor with the worker id exposed, used by
+// the instrumented variants to accumulate per-worker statistics without
+// synchronization.
+func parallelForWorker(n, parallelism int, body func(i, worker int)) {
+	concurrent.ForWorker(n, parallelism, 512, body)
+}
+
+// workerCount returns the number of distinct worker ids parallelFor may
+// use for the given parallelism setting.
+func workerCount(parallelism int) int {
+	return concurrent.Procs(parallelism)
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"afforest/internal/gen"
+	"afforest/internal/graph"
+)
+
+// TestClaim1UniformSamplingRegularGraphs executes §IV-B of the paper:
+// for a connected d-regular graph, independently sampling edges with
+// p = (1+ε)/d keeps the expected sampled edge count at O(n) (Claim 1)
+// and — by Frieze et al. — the sampled subgraph contains a component of
+// size Θ(n) almost surely.
+func TestClaim1UniformSamplingRegularGraphs(t *testing.T) {
+	const n = 20_000
+	for _, d := range []int{8, 16, 32} {
+		g := gen.Regular(n, d, uint64(d))
+		// Sanity: the base graph is connected (random regular, d >= 3).
+		if _, sizes := graph.SequentialCC(g); len(sizes) != 1 {
+			t.Fatalf("d=%d: base graph not connected", d)
+		}
+		const eps = 0.5
+		p := (1 + eps) / float64(d)
+
+		// Deterministic per-edge coin flips.
+		var state uint64 = 0x9e3779b97f4a7c15 * uint64(d)
+		next := func() float64 {
+			state += 0x9e3779b97f4a7c15
+			z := state
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			return float64(z>>11) / (1 << 53)
+		}
+		var sampled []graph.Edge
+		for _, e := range g.Edges() {
+			if next() < p {
+				sampled = append(sampled, e)
+			}
+		}
+
+		// Claim 1: expected sampled edges p·m = (1+ε)n/2 = O(n).
+		want := (1 + eps) * float64(n) / 2
+		if got := float64(len(sampled)); got < 0.8*want || got > 1.2*want {
+			t.Fatalf("d=%d: sampled %d edges, want ≈%.0f (O(n))", d, len(sampled), want)
+		}
+
+		// Frieze et al.: the sampled subgraph has a Θ(n) component.
+		sub := graph.Build(sampled, graph.BuildOptions{NumVertices: n})
+		p2 := Run(sub, DefaultOptions())
+		counts := map[graph.V]int{}
+		max := 0
+		for _, l := range p2.Labels() {
+			counts[l]++
+			if counts[l] > max {
+				max = counts[l]
+			}
+		}
+		if float64(max) < 0.25*n {
+			t.Fatalf("d=%d: giant sampled component is only %d of %d vertices", d, max, n)
+		}
+	}
+}
+
+// TestPartialPreservationFeedsAfforest connects §IV-B to the algorithm:
+// processing only the sampled O(n) subgraph first, then finishing with
+// the remaining edges, must produce the exact labeling with most merges
+// already done by the sample.
+func TestPartialPreservationFeedsAfforest(t *testing.T) {
+	const n = 10_000
+	const d = 16
+	g := gen.Regular(n, d, 3)
+	p := NewParent(n)
+	// Process a (1.5/d) uniform sample first.
+	edges := g.Edges()
+	taken := 0
+	for i, e := range edges {
+		if i%10 == 0 { // deterministic 10% ≈ 1.6/d sample
+			Link(p, e.U, e.V)
+			taken++
+		}
+	}
+	CompressAll(p, 0)
+	trees := p.CountTrees()
+	// The sample must have linked the great majority of vertices.
+	if float64(trees) > 0.5*float64(n) {
+		t.Fatalf("after O(n) sample (%d edges), %d trees remain", taken, trees)
+	}
+	// Finishing the remaining edges yields the exact answer.
+	for i, e := range edges {
+		if i%10 != 0 {
+			Link(p, e.U, e.V)
+		}
+	}
+	CompressAll(p, 0)
+	checkAgainstOracle(t, g, "sample-then-finish", p.Labels())
+}

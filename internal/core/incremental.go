@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"afforest/internal/graph"
+)
+
+// Incremental is an online connectivity structure built from Afforest's
+// lock-free link/compress primitives: edges stream in (concurrently,
+// from any number of goroutines) and connectivity queries are answered
+// at any point, without re-running the batch algorithm. This is a
+// by-product of the paper's design — because link converges locally per
+// edge (Theorem 1 holds for any edge order, including interleaved with
+// queries), the same π array doubles as a concurrent union-find.
+type Incremental struct {
+	p          Parent
+	components atomic.Int64
+}
+
+// NewIncremental returns a structure over n isolated vertices.
+func NewIncremental(n int) *Incremental {
+	inc := &Incremental{p: NewParent(n)}
+	inc.components.Store(int64(n))
+	return inc
+}
+
+// NumVertices returns n.
+func (inc *Incremental) NumVertices() int { return len(inc.p) }
+
+// AddEdge records the undirected edge {u, v}, returning true if it
+// merged two previously disconnected components. Safe for concurrent
+// use; each successful merge is counted exactly once (the hook CAS has
+// a unique winner).
+func (inc *Incremental) AddEdge(u, v graph.V) bool {
+	if u == v {
+		return false
+	}
+	if LinkRecord(inc.p, u, v) {
+		inc.components.Add(-1)
+		return true
+	}
+	return false
+}
+
+// Connected reports whether u and v are currently in the same
+// component. Safe concurrently with AddEdge; the answer reflects some
+// linearization of the concurrent operations (a true result is always
+// durable — components never split).
+func (inc *Incremental) Connected(u, v graph.V) bool {
+	for {
+		ru := inc.p.Find(u)
+		rv := inc.p.Find(v)
+		if ru == rv {
+			return true
+		}
+		// The roots differ, but a concurrent AddEdge may have re-rooted
+		// one of them mid-walk. The answer is correct if both are still
+		// roots at this instant.
+		if inc.p.Get(ru) == ru && inc.p.Get(rv) == rv {
+			return false
+		}
+	}
+}
+
+// Find returns the current representative of v's component. As with
+// Connected, representatives are stable only in quiescence.
+func (inc *Incremental) Find(v graph.V) graph.V { return inc.p.Find(v) }
+
+// NumComponents returns the current number of components.
+func (inc *Incremental) NumComponents() int { return int(inc.components.Load()) }
+
+// Compress flattens all trees to depth one (an O(n) maintenance pass
+// that speeds up subsequent operations; semantics are unchanged). Safe
+// concurrently with AddEdge/Connected.
+func (inc *Incremental) Compress(parallelism int) {
+	CompressAll(inc.p, parallelism)
+}
+
+// Labels compresses and returns the canonical labeling, like a batch
+// run's result. The returned slice aliases the live structure; copy it
+// if edges will continue to stream.
+func (inc *Incremental) Labels(parallelism int) []graph.V {
+	CompressAll(inc.p, parallelism)
+	return inc.p.Labels()
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"afforest/internal/concurrent"
+	"afforest/internal/gen"
+	"afforest/internal/graph"
+)
+
+func TestIncrementalBasics(t *testing.T) {
+	inc := NewIncremental(5)
+	if inc.NumComponents() != 5 || inc.NumVertices() != 5 {
+		t.Fatalf("fresh: %d components", inc.NumComponents())
+	}
+	if inc.Connected(0, 1) {
+		t.Fatal("fresh vertices connected")
+	}
+	if !inc.AddEdge(0, 1) {
+		t.Fatal("first edge must merge")
+	}
+	if inc.AddEdge(1, 0) {
+		t.Fatal("duplicate edge must not merge")
+	}
+	if inc.AddEdge(2, 2) {
+		t.Fatal("self loop must not merge")
+	}
+	if !inc.Connected(0, 1) || inc.Connected(0, 2) {
+		t.Fatal("connectivity wrong")
+	}
+	if inc.NumComponents() != 4 {
+		t.Fatalf("components = %d, want 4", inc.NumComponents())
+	}
+	inc.AddEdge(2, 3)
+	inc.AddEdge(3, 4)
+	inc.AddEdge(0, 4) // merges the two chains
+	if inc.NumComponents() != 1 {
+		t.Fatalf("components = %d, want 1", inc.NumComponents())
+	}
+	if !inc.Connected(1, 2) {
+		t.Fatal("transitive connectivity missing")
+	}
+}
+
+func TestIncrementalMatchesBatch(t *testing.T) {
+	g := gen.Kronecker(11, 8, gen.Graph500, 17)
+	inc := NewIncremental(g.NumVertices())
+	for _, e := range g.Edges() {
+		inc.AddEdge(e.U, e.V)
+	}
+	labels := inc.Labels(0)
+	batch := Run(g, DefaultOptions())
+	for v := range labels {
+		if labels[v] != batch.Get(graph.V(v)) {
+			t.Fatalf("vertex %d: incremental %d vs batch %d", v, labels[v], batch.Get(graph.V(v)))
+		}
+	}
+	oracleComponents := batchComponentCount(batch)
+	if inc.NumComponents() != oracleComponents {
+		t.Fatalf("NumComponents = %d, want %d", inc.NumComponents(), oracleComponents)
+	}
+}
+
+func batchComponentCount(p Parent) int {
+	seen := map[graph.V]bool{}
+	for v := range p {
+		seen[p.Get(graph.V(v))] = true
+	}
+	return len(seen)
+}
+
+func TestIncrementalConcurrentStreaming(t *testing.T) {
+	g := gen.URandDegree(10_000, 16, 23)
+	edges := g.Edges()
+	for trial := 0; trial < 5; trial++ {
+		inc := NewIncremental(g.NumVertices())
+		var merges atomic.Int64
+		concurrent.For(len(edges), 8, func(i int) {
+			if inc.AddEdge(edges[i].U, edges[i].V) {
+				merges.Add(1)
+			}
+		})
+		oracle, sizes := graph.SequentialCC(g)
+		_ = oracle
+		wantMerges := int64(g.NumVertices() - len(sizes))
+		if merges.Load() != wantMerges {
+			t.Fatalf("trial %d: %d merges, want %d (each counted exactly once)",
+				trial, merges.Load(), wantMerges)
+		}
+		if inc.NumComponents() != len(sizes) {
+			t.Fatalf("trial %d: %d components, want %d", trial, inc.NumComponents(), len(sizes))
+		}
+	}
+}
+
+func TestIncrementalQueriesDuringStreaming(t *testing.T) {
+	// Interleave queries with insertions from multiple goroutines; a
+	// true Connected answer must be durable.
+	const n = 2000
+	inc := NewIncremental(n)
+	rng := rand.New(rand.NewSource(3))
+	edges := make([]graph.Edge, 6000)
+	for i := range edges {
+		edges[i] = graph.Edge{U: graph.V(rng.Intn(n)), V: graph.V(rng.Intn(n))}
+	}
+	var falseNegatives atomic.Int64
+	concurrent.For(len(edges), 8, func(i int) {
+		e := edges[i]
+		inc.AddEdge(e.U, e.V)
+		// Immediately after inserting {u,v}, they must be connected.
+		if e.U != e.V && !inc.Connected(e.U, e.V) {
+			falseNegatives.Add(1)
+		}
+	})
+	if falseNegatives.Load() != 0 {
+		t.Fatalf("%d queries missed their own insertion", falseNegatives.Load())
+	}
+}
+
+func TestIncrementalCompressKeepsSemantics(t *testing.T) {
+	inc := NewIncremental(100)
+	for v := graph.V(1); v < 100; v++ {
+		inc.AddEdge(v-1, v)
+	}
+	inc.Compress(2)
+	if inc.NumComponents() != 1 || !inc.Connected(0, 99) {
+		t.Fatal("compress broke connectivity")
+	}
+	if inc.Find(99) != 0 {
+		t.Fatalf("representative = %d, want 0", inc.Find(99))
+	}
+}
+
+func BenchmarkIncrementalAddEdge(b *testing.B) {
+	const n = 1 << 16
+	inc := NewIncremental(n)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc.AddEdge(graph.V(rng.Intn(n)), graph.V(rng.Intn(n)))
+	}
+}

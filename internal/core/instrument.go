@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"afforest/internal/graph"
+)
+
+// LinkStats aggregates the per-edge behaviour of Link for Table II:
+// the number of local loop iterations each Link call performs, and the
+// deepest parent-chain walk observed. In the paper's measurements the
+// average local iteration count stays near 1 — most edges only verify
+// already-converged trees — while the maximum observed depth stays
+// close to SV's tree depth despite Link's unbounded climb.
+type LinkStats struct {
+	Calls      int64
+	Iterations int64
+	MaxIters   int64
+	CASFails   int64
+}
+
+// MeanIterations returns average Link loop iterations per call.
+func (s *LinkStats) MeanIterations() float64 {
+	if s.Calls == 0 {
+		return 0
+	}
+	return float64(s.Iterations) / float64(s.Calls)
+}
+
+// merge adds o into s.
+func (s *LinkStats) merge(o *LinkStats) {
+	s.Calls += o.Calls
+	s.Iterations += o.Iterations
+	s.CASFails += o.CASFails
+	if o.MaxIters > s.MaxIters {
+		s.MaxIters = o.MaxIters
+	}
+}
+
+// LinkCounted is Link with iteration accounting into st. The control
+// flow is identical to Link; duplication keeps the uninstrumented hot
+// path free of counters, and the equivalence is pinned by
+// TestLinkCountedMatchesLink.
+func LinkCounted(p Parent, u, v graph.V, st *LinkStats) {
+	st.Calls++
+	// The entry comparison counts as one local iteration, matching the
+	// paper's accounting: an edge whose trees already converged runs "a
+	// single local iteration of link for validation" (Section V-A).
+	iters := int64(1)
+	p1 := p.Get(u)
+	p2 := p.Get(v)
+	for p1 != p2 {
+		iters++
+		var h, l graph.V
+		if p1 > p2 {
+			h, l = p1, p2
+		} else {
+			h, l = p2, p1
+		}
+		ph := p.Get(h)
+		if ph == l {
+			break
+		}
+		if ph == h {
+			if p.cas(h, h, l) {
+				break
+			}
+			st.CASFails++
+		}
+		p1 = p.Get(p.Get(h))
+		p2 = p.Get(l)
+	}
+	st.Iterations += iters
+	if iters > st.MaxIters {
+		st.MaxIters = iters
+	}
+}
+
+// RunStats is the full Table II record for one Afforest execution.
+type RunStats struct {
+	Link LinkStats
+	// MaxDepth is the deepest tree observed at phase boundaries (after
+	// each link phase, before its compress).
+	MaxDepth int
+	// Rounds is the number of neighbor rounds executed.
+	Rounds int
+}
+
+// RunInstrumented executes Afforest exactly like Run while collecting
+// RunStats. Per-worker stats are accumulated without synchronization in
+// worker-private structs and merged at phase boundaries, so the
+// measured algorithm is the same algorithm.
+func RunInstrumented(g *graph.CSR, opt Options) (Parent, *RunStats) {
+	n := g.NumVertices()
+	p := NewParent(n)
+	rs := &RunStats{Rounds: opt.rounds()}
+	if n == 0 {
+		return p, rs
+	}
+	rounds := opt.rounds()
+	workers := workerCount(opt.Parallelism)
+
+	observeDepth := func() {
+		if d := p.MaxDepth(); d > rs.MaxDepth {
+			rs.MaxDepth = d
+		}
+	}
+
+	for r := 0; r < rounds; r++ {
+		perWorker := make([]LinkStats, workers)
+		parallelForWorker(n, opt.Parallelism, func(i, w int) {
+			u := graph.V(i)
+			if r < g.Degree(u) {
+				LinkCounted(p, u, g.Neighbor(u, r), &perWorker[w])
+			}
+		})
+		for w := range perWorker {
+			rs.Link.merge(&perWorker[w])
+		}
+		observeDepth()
+		CompressAll(p, opt.Parallelism)
+	}
+
+	var c graph.V
+	if opt.SkipLargest {
+		c = SampleFrequentElement(p, opt.sampleSize(), opt.Seed)
+	}
+
+	perWorker := make([]LinkStats, workers)
+	parallelForWorker(n, opt.Parallelism, func(i, w int) {
+		u := graph.V(i)
+		if opt.SkipLargest && p.Get(u) == c {
+			return
+		}
+		deg := g.Degree(u)
+		for k := rounds; k < deg; k++ {
+			LinkCounted(p, u, g.Neighbor(u, k), &perWorker[w])
+		}
+	})
+	for w := range perWorker {
+		rs.Link.merge(&perWorker[w])
+	}
+	observeDepth()
+	CompressAll(p, opt.Parallelism)
+	return p, rs
+}
+
+// EdgesProcessed estimates work saved by sampling+skipping: it runs
+// Afforest while counting arcs actually passed to Link, and returns
+// that count together with the total arc count.
+func EdgesProcessed(g *graph.CSR, opt Options) (processed, total int64) {
+	n := g.NumVertices()
+	p := NewParent(n)
+	total = g.NumArcs()
+	if n == 0 {
+		return 0, 0
+	}
+	rounds := opt.rounds()
+	var count atomic.Int64
+	for r := 0; r < rounds; r++ {
+		parallelFor(n, opt.Parallelism, func(i int) {
+			u := graph.V(i)
+			if r < g.Degree(u) {
+				Link(p, u, g.Neighbor(u, r))
+				count.Add(1)
+			}
+		})
+		CompressAll(p, opt.Parallelism)
+	}
+	var c graph.V
+	if opt.SkipLargest {
+		c = SampleFrequentElement(p, opt.sampleSize(), opt.Seed)
+	}
+	parallelFor(n, opt.Parallelism, func(i int) {
+		u := graph.V(i)
+		if opt.SkipLargest && p.Get(u) == c {
+			return
+		}
+		if deg := g.Degree(u); deg > rounds {
+			count.Add(int64(deg - rounds))
+			for k := rounds; k < deg; k++ {
+				Link(p, u, g.Neighbor(u, k))
+			}
+		}
+	})
+	CompressAll(p, opt.Parallelism)
+	return count.Load(), total
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"afforest/internal/graph"
+)
+
+// ConvergencePoint is one sample of the two convergence measures of
+// Section V-B, taken after a batch of edges has been processed.
+type ConvergencePoint struct {
+	Batch          int
+	EdgesProcessed int64   // cumulative edges handed to Link
+	TotalEdges     int64   // denominator for the X axis
+	PercentEdges   float64 // 100 * EdgesProcessed / TotalEdges
+	Linkage        float64 // (|V| - T_t) / (|V| - C)
+	Coverage       float64 // τ_max(t) / |c_max|
+}
+
+// MeasureConvergence replays Afforest under the given partitioning
+// strategy, recording Linkage and Coverage after every batch — the
+// machinery behind Figs 6a and 6b. Between batches a full compress runs,
+// exactly as interleaved in the real algorithm (Section III-B shows this
+// does not alter the result).
+func MeasureConvergence(g *graph.CSR, strat Strategy, batches int, seed uint64, parallelism int) []ConvergencePoint {
+	n := g.NumVertices()
+	labels, sizes := graph.SequentialCC(g)
+	numComponents := len(sizes)
+	cmaxLabel, cmaxSize := int32(0), 0
+	for l, s := range sizes {
+		if s > cmaxSize {
+			cmaxLabel, cmaxSize = int32(l), s
+		}
+	}
+
+	parts := strat.Partition(g, batches, seed)
+	var total int64
+	for _, b := range parts {
+		total += int64(len(b))
+	}
+
+	p := NewParent(n)
+	var processed int64
+	points := make([]ConvergencePoint, 0, len(parts)+1)
+	record := func(batch int) {
+		trees := p.CountTrees()
+		linkage := 1.0
+		if n > numComponents {
+			linkage = float64(n-trees) / float64(n-numComponents)
+		}
+		points = append(points, ConvergencePoint{
+			Batch:          batch,
+			EdgesProcessed: processed,
+			TotalEdges:     total,
+			PercentEdges:   100 * float64(processed) / float64(maxI64(total, 1)),
+			Linkage:        linkage,
+			Coverage:       coverage(p, labels, cmaxLabel, cmaxSize),
+		})
+	}
+
+	record(0) // t=0: all self-pointing, linkage 0
+	for bi, batch := range parts {
+		edges := batch
+		parallelFor(len(edges), parallelism, func(i int) {
+			Link(p, edges[i].U, edges[i].V)
+		})
+		CompressAll(p, parallelism)
+		processed += int64(len(edges))
+		record(bi + 1)
+	}
+	return points
+}
+
+// coverage computes τ_max(t)/|c_max|: the size of the largest current
+// tree that lies inside the (final) largest component, relative to that
+// component's size. Trees never span components, so a tree lies inside
+// c_max iff its root does.
+func coverage(p Parent, labels []int32, cmaxLabel int32, cmaxSize int) float64 {
+	if cmaxSize == 0 {
+		return 0
+	}
+	treeSize := make(map[graph.V]int)
+	best := 0
+	for v := range p {
+		root := p.Find(graph.V(v))
+		if labels[root] != cmaxLabel {
+			continue
+		}
+		treeSize[root]++
+		if treeSize[root] > best {
+			best = treeSize[root]
+		}
+	}
+	return float64(best) / float64(cmaxSize)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

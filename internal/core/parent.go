@@ -1,0 +1,122 @@
+// Package core implements Afforest, the paper's contribution: a
+// restructured Shiloach–Vishkin connected-components algorithm whose
+// link/compress primitives converge locally per edge (Section III),
+// combined with vertex-neighbor subgraph sampling and large-component
+// skipping (Section IV).
+//
+// The concurrency discipline follows the paper exactly: the only write
+// that can race is the hook π(h) ← l, performed with compare-and-swap on
+// roots only, preserving Invariant 1 (π(x) ≤ x) and hence acyclicity
+// (Lemmas 1–2). All shared reads and the compress writes go through
+// sync/atomic so the implementation is data-race-free under the Go
+// memory model (the C++ original relies on benign races instead).
+package core
+
+import (
+	"sync/atomic"
+
+	"afforest/internal/graph"
+)
+
+// Parent is the π array: a forest of parent pointers over vertex ids.
+// Parent values are manipulated atomically; a Parent may be shared by
+// any number of goroutines running Link and Compress concurrently.
+type Parent []uint32
+
+// NewParent returns π initialized to |V| self-pointing single-node trees
+// (Fig 5, line 1). Initialization is sequential stores — the array is
+// not yet shared.
+func NewParent(n int) Parent {
+	p := make(Parent, n)
+	for i := range p {
+		p[i] = uint32(i)
+	}
+	return p
+}
+
+// Get atomically loads π(v).
+func (p Parent) Get(v graph.V) graph.V {
+	return atomic.LoadUint32(&p[v])
+}
+
+// set atomically stores π(v) ← x. Exported operations preserve
+// Invariant 1; raw stores are internal.
+func (p Parent) set(v, x graph.V) {
+	atomic.StoreUint32(&p[v], x)
+}
+
+// cas attempts π(v): old → new atomically.
+func (p Parent) cas(v, old, new graph.V) bool {
+	return atomic.CompareAndSwapUint32(&p[v], old, new)
+}
+
+// Find walks parent pointers from v to the root of its tree without
+// modifying π. Safe concurrently with Link/Compress: the path above any
+// vertex only ever shortens or re-roots to an ancestor (Lemma 4), and
+// Invariant 1 (π(x) ≤ x) rules out cycles, so the walk terminates.
+func (p Parent) Find(v graph.V) graph.V {
+	for {
+		parent := p.Get(v)
+		if parent == v {
+			return v
+		}
+		v = parent
+	}
+}
+
+// Depth returns the number of parent hops from v to its root. Used by
+// the Table II instrumentation; not intended for hot paths.
+func (p Parent) Depth(v graph.V) int {
+	d := 0
+	for {
+		parent := p.Get(v)
+		if parent == v {
+			return d
+		}
+		v = parent
+		d++
+	}
+}
+
+// MaxDepth returns the maximum Depth over all vertices (the forest
+// height reported in Table II).
+func (p Parent) MaxDepth() int {
+	max := 0
+	for v := range p {
+		if d := p.Depth(graph.V(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// CountTrees returns T, the number of trees in π (self-pointing roots).
+// This is the quantity behind the Linkage convergence measure.
+func (p Parent) CountTrees() int {
+	t := 0
+	for v := range p {
+		if p.Get(graph.V(v)) == graph.V(v) {
+			t++
+		}
+	}
+	return t
+}
+
+// Validate checks Invariant 1 (π(x) ≤ x) for every vertex and returns
+// the first violating vertex, or -1 if the invariant holds. Because the
+// invariant implies acyclicity (Lemma 1), a passing Validate guarantees
+// Find terminates.
+func (p Parent) Validate() int {
+	for v := range p {
+		if p.Get(graph.V(v)) > graph.V(v) {
+			return v
+		}
+	}
+	return -1
+}
+
+// Labels flattens π into final component labels: after a full Compress
+// pass every vertex points directly at its component's root, so the
+// array itself is the labeling. Labels returns π reinterpreted as
+// []graph.V without copying.
+func (p Parent) Labels() []graph.V { return p }

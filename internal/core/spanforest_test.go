@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"afforest/internal/gen"
+	"afforest/internal/graph"
+)
+
+func TestSpanningForestSizeAndAcyclicity(t *testing.T) {
+	for _, sg := range gen.Suite() {
+		g := sg.Build(9, 55)
+		sf := SpanningForest(g, 0)
+		_, sizes := graph.SequentialCC(g)
+		want := g.NumVertices() - len(sizes)
+		if len(sf) != want {
+			t.Fatalf("%s: |SF| = %d, want |V|-C = %d", sg.Name, len(sf), want)
+		}
+		// Acyclic: |edges| = |V| - components(SF graph).
+		sfg := graph.Build(sf, graph.BuildOptions{NumVertices: g.NumVertices()})
+		_, sfSizes := graph.SequentialCC(sfg)
+		if int(sfg.NumEdges()) != g.NumVertices()-len(sfSizes) {
+			t.Fatalf("%s: forest has a cycle (|E|=%d, |V|-C=%d)",
+				sg.Name, sfg.NumEdges(), g.NumVertices()-len(sfSizes))
+		}
+	}
+}
+
+func TestSpanningForestPreservesConnectivity(t *testing.T) {
+	g := gen.URandComponents(3000, 8, 0.2, 77)
+	sfg := SpanningForestGraph(g, 0)
+	orig, _ := graph.SequentialCC(g)
+	forest, _ := graph.SequentialCC(sfg)
+	// Partitions must be identical.
+	seen := map[int32]int32{}
+	for v := range orig {
+		if mapped, ok := seen[orig[v]]; ok {
+			if mapped != forest[v] {
+				t.Fatalf("SF split component of vertex %d", v)
+			}
+		} else {
+			seen[orig[v]] = forest[v]
+		}
+	}
+	if len(seen) != countDistinct(forest) {
+		t.Fatalf("SF merged components: %d vs %d", len(seen), countDistinct(forest))
+	}
+}
+
+func countDistinct(labels []int32) int {
+	m := map[int32]bool{}
+	for _, l := range labels {
+		m[l] = true
+	}
+	return len(m)
+}
+
+func TestSpanningForestEdgesExistInGraph(t *testing.T) {
+	g := gen.TwitterLike(1500, 6, 8)
+	for _, e := range SpanningForest(g, 0) {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("SF edge %v not in graph", e)
+		}
+	}
+}
+
+func TestSpanningForestParallelStress(t *testing.T) {
+	g := gen.Kronecker(11, 8, gen.Graph500, 14)
+	_, sizes := graph.SequentialCC(g)
+	want := g.NumVertices() - len(sizes)
+	for trial := 0; trial < 10; trial++ {
+		sf := SpanningForest(g, 8)
+		if len(sf) != want {
+			t.Fatalf("trial %d: |SF| = %d, want %d — a merge was double-counted or lost", trial, len(sf), want)
+		}
+	}
+}
+
+func TestLinkRecordSerialSemantics(t *testing.T) {
+	p := NewParent(4)
+	if !LinkRecord(p, 0, 1) {
+		t.Fatal("first link must merge")
+	}
+	if LinkRecord(p, 0, 1) || LinkRecord(p, 1, 0) {
+		t.Fatal("re-link must not report a merge")
+	}
+	if !LinkRecord(p, 2, 3) {
+		t.Fatal("independent link must merge")
+	}
+	if !LinkRecord(p, 3, 0) {
+		t.Fatal("tree-tree link must merge")
+	}
+	if LinkRecord(p, 2, 1) {
+		t.Fatal("everything already connected")
+	}
+}

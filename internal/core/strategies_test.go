@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"afforest/internal/gen"
+	"afforest/internal/graph"
+)
+
+// partitionUniverse flattens a partition and checks it covers a sane
+// edge universe; returns total edge slots.
+func partitionTotal(parts [][]graph.Edge) int64 {
+	var total int64
+	for _, p := range parts {
+		total += int64(len(p))
+	}
+	return total
+}
+
+func TestRowSamplingCoversAllArcs(t *testing.T) {
+	g := gen.URandDegree(500, 8, 1)
+	parts := RowSampling{}.Partition(g, 10, 0)
+	if len(parts) != 10 {
+		t.Fatalf("batches = %d", len(parts))
+	}
+	if got := partitionTotal(parts); got != g.NumArcs() {
+		t.Fatalf("row sampling covers %d arcs, want %d", got, g.NumArcs())
+	}
+}
+
+func TestEdgeSamplingCoversEachEdgeOnce(t *testing.T) {
+	g := gen.URandDegree(500, 8, 2)
+	parts := EdgeSampling{}.Partition(g, 7, 99)
+	if got := partitionTotal(parts); got != g.NumEdges() {
+		t.Fatalf("edge sampling covers %d, want %d", got, g.NumEdges())
+	}
+	seen := map[graph.Edge]int{}
+	for _, b := range parts {
+		for _, e := range b {
+			seen[canon(e)]++
+		}
+	}
+	for e, c := range seen {
+		if c != 1 {
+			t.Fatalf("edge %v appears %d times", e, c)
+		}
+	}
+}
+
+func TestEdgeSamplingShuffleDeterministic(t *testing.T) {
+	g := gen.URandDegree(300, 6, 3)
+	a := EdgeSampling{}.Partition(g, 5, 42)
+	b := EdgeSampling{}.Partition(g, 5, 42)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("same seed, different batching")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed, different order")
+			}
+		}
+	}
+}
+
+func TestNeighborSamplingBatchStructure(t *testing.T) {
+	g := gen.WebLike(800, 10, 4)
+	parts := NeighborSampling{}.Partition(g, 0, 0)
+	if len(parts) != g.MaxDegree() {
+		t.Fatalf("batches = %d, want max degree %d", len(parts), g.MaxDegree())
+	}
+	if got := partitionTotal(parts); got != g.NumArcs() {
+		t.Fatalf("neighbor sampling covers %d arcs, want %d", got, g.NumArcs())
+	}
+	// Batch r contains one arc per vertex of degree > r.
+	for r, batch := range parts {
+		var want int
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.Degree(graph.V(v)) > r {
+				want++
+			}
+		}
+		if len(batch) != want {
+			t.Fatalf("round %d: %d arcs, want %d", r, len(batch), want)
+		}
+	}
+}
+
+func TestOptimalSamplingFrontLoadsForest(t *testing.T) {
+	g := gen.URandDegree(1000, 12, 5)
+	parts := OptimalSampling{}.Partition(g, 10, 0)
+	_, sizes := graph.SequentialCC(g)
+	sfSize := int64(g.NumVertices() - len(sizes))
+	var firstHalf int64
+	for b := 0; b < 5; b++ {
+		firstHalf += int64(len(parts[b]))
+	}
+	if firstHalf != sfSize {
+		t.Fatalf("first half holds %d edges, want spanning forest size %d", firstHalf, sfSize)
+	}
+	if got := partitionTotal(parts); got != g.NumEdges() {
+		t.Fatalf("optimal covers %d, want %d", got, g.NumEdges())
+	}
+}
+
+func TestAllStrategiesConverge(t *testing.T) {
+	g := gen.URandComponents(1200, 10, 0.5, 6)
+	for _, s := range AllStrategies() {
+		parts := s.Partition(g, 8, 7)
+		p := NewParent(g.NumVertices())
+		for _, batch := range parts {
+			for _, e := range batch {
+				Link(p, e.U, e.V)
+			}
+			CompressAll(p, 2)
+		}
+		checkAgainstOracle(t, g, "strategy/"+s.Name(), p.Labels())
+	}
+}
+
+func TestStrategyByName(t *testing.T) {
+	for _, name := range []string{"row", "edge", "neighbor", "optimal"} {
+		s, err := StrategyByName(name)
+		if err != nil || s.Name() != name {
+			t.Fatalf("StrategyByName(%s): %v %v", name, s, err)
+		}
+	}
+	if _, err := StrategyByName("bogus"); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+}
+
+func TestMeasureConvergenceMonotoneAndComplete(t *testing.T) {
+	g := gen.WebLike(3000, 10, 8)
+	for _, s := range AllStrategies() {
+		pts := MeasureConvergence(g, s, 10, 3, 2)
+		if len(pts) < 2 {
+			t.Fatalf("%s: too few points", s.Name())
+		}
+		if pts[0].Linkage != 0 || pts[0].EdgesProcessed != 0 {
+			t.Fatalf("%s: first point not at origin: %+v", s.Name(), pts[0])
+		}
+		last := pts[len(pts)-1]
+		if last.Linkage < 0.999 {
+			t.Fatalf("%s: final linkage %.4f, want 1.0", s.Name(), last.Linkage)
+		}
+		if last.Coverage < 0.999 {
+			t.Fatalf("%s: final coverage %.4f, want 1.0", s.Name(), last.Coverage)
+		}
+		if last.PercentEdges < 99.9 {
+			t.Fatalf("%s: final percent %.1f", s.Name(), last.PercentEdges)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Linkage+1e-9 < pts[i-1].Linkage {
+				t.Fatalf("%s: linkage decreased at %d", s.Name(), i)
+			}
+			if pts[i].Coverage+1e-9 < pts[i-1].Coverage {
+				t.Fatalf("%s: coverage decreased at %d", s.Name(), i)
+			}
+			if pts[i].EdgesProcessed < pts[i-1].EdgesProcessed {
+				t.Fatalf("%s: processed count decreased", s.Name())
+			}
+		}
+	}
+}
+
+// TestNeighborSamplingBeatsRowSampling pins the headline claim of Fig
+// 6a: after the first two neighbor rounds (O(|V|) edges), linkage is
+// far ahead of row sampling at the same edge budget.
+func TestNeighborSamplingBeatsRowSampling(t *testing.T) {
+	g := gen.WebLike(8000, 16, 12)
+	nb := MeasureConvergence(g, NeighborSampling{}, 0, 1, 0)
+	if len(nb) < 3 {
+		t.Fatal("need at least 2 neighbor rounds of points")
+	}
+	twoRounds := nb[2] // after rounds 0 and 1
+	if twoRounds.Linkage < 0.6 {
+		t.Fatalf("linkage after 2 neighbor rounds = %.2f, paper reports ~0.83", twoRounds.Linkage)
+	}
+	row := MeasureConvergence(g, RowSampling{}, 50, 1, 0)
+	// Find the row-sampling point at comparable edge budget.
+	var rowLinkage float64
+	for _, pt := range row {
+		if pt.PercentEdges <= twoRounds.PercentEdges+1e-9 {
+			rowLinkage = pt.Linkage
+		}
+	}
+	if twoRounds.Linkage <= rowLinkage {
+		t.Fatalf("neighbor sampling (%.2f) must beat row sampling (%.2f) at the same budget",
+			twoRounds.Linkage, rowLinkage)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"afforest/internal/graph"
+)
+
+// workModelGrain matches the chunk size of the live scheduler
+// (parallelFor), so the model distributes work in the same units.
+const workModelGrain = 512
+
+// WorkByWorker models Afforest's work distribution over `workers`
+// logical workers: the algorithm executes (single-threaded, so the
+// counts are deterministic) while every vertex chunk is attributed
+// round-robin to a logical worker — the equal-speed idealization of the
+// dynamic chunk claiming the real scheduler performs. The returned
+// per-worker Link-call counts bound achievable strong scaling: with
+// perfect memory behaviour, speedup at P workers is at most
+// total / max_w(work_w). The Fig 8b harness reports this
+// balance-limited bound alongside wall-clock speedups, which are only
+// meaningful on hosts with that many physical cores (DESIGN.md §3).
+func WorkByWorker(g *graph.CSR, opt Options, workers int) []int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	n := g.NumVertices()
+	counts := make([]int64, workers)
+	p := NewParent(n)
+	if n == 0 {
+		return counts
+	}
+	workerOf := func(i int) int { return (i / workModelGrain) % workers }
+	rounds := opt.rounds()
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			u := graph.V(i)
+			if r < g.Degree(u) {
+				Link(p, u, g.Neighbor(u, r))
+				counts[workerOf(i)]++
+			}
+		}
+		CompressAll(p, 1)
+	}
+	var c graph.V
+	if opt.SkipLargest {
+		c = SampleFrequentElement(p, opt.sampleSize(), opt.Seed)
+	}
+	for i := 0; i < n; i++ {
+		u := graph.V(i)
+		if opt.SkipLargest && p.Get(u) == c {
+			continue
+		}
+		deg := g.Degree(u)
+		for k := rounds; k < deg; k++ {
+			Link(p, u, g.Neighbor(u, k))
+			counts[workerOf(i)]++
+		}
+	}
+	CompressAll(p, 1)
+	return counts
+}
+
+// ModeledSpeedup turns per-worker work counts into the balance-limited
+// speedup bound total/max (1.0 when one worker holds all the work).
+func ModeledSpeedup(counts []int64) float64 {
+	var total, max int64
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return 1
+	}
+	return float64(total) / float64(max)
+}

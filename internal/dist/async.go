@@ -1,0 +1,181 @@
+package dist
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"afforest/internal/graph"
+)
+
+// AsyncConnectedComponents is the asynchronous counterpart of
+// ConnectedComponents: nodes are long-lived actor goroutines with
+// unbounded mailboxes, label updates propagate as soon as they are
+// produced (no superstep barriers), and global termination is detected
+// with an outstanding-message counter — the structure a real RDMA/MPI
+// implementation would have, as opposed to the BSP idealization.
+//
+// Semantics and final labels match ConnectedComponents; the interesting
+// delta is message count: eager propagation can send labels a barrier
+// would have batched or superseded, which ExtDist-style comparisons can
+// quantify against the BSP variant.
+func AsyncConnectedComponents(g *graph.CSR, numNodes int) ([]graph.V, Stats) {
+	n := g.NumVertices()
+	part := NewPartitioning(n, numNodes)
+	st := Stats{Nodes: part.NumNodes}
+
+	boxes := make([]*mailbox, part.NumNodes)
+	for i := range boxes {
+		boxes[i] = newMailbox()
+	}
+
+	// outstanding counts messages enqueued but not yet fully handled —
+	// a handler decrements only after any follow-on sends it performs
+	// have been counted, so the counter can reach zero only at global
+	// quiescence.
+	var outstanding atomic.Int64
+	var messages atomic.Int64
+	var stop atomic.Bool
+
+	ufs := make([]*labelUnionFind, part.NumNodes)
+	ghostsOf := make([][]graph.V, part.NumNodes)
+
+	// Local phase (parallel, same as the BSP variant): local union-find
+	// seeded with owned edges; ghosts recorded for remote endpoints.
+	runOnNodes(part.NumNodes, func(id int) {
+		lo, hi := part.Range(id)
+		uf := newLabelUnionFind()
+		ghostSet := make(map[graph.V]struct{})
+		for u := lo; u < hi; u++ {
+			for _, v := range g.Neighbors(graph.V(u)) {
+				uf.union(graph.V(u), v)
+				if int(v) < lo || int(v) >= hi {
+					ghostSet[v] = struct{}{}
+				}
+			}
+		}
+		ufs[id] = uf
+		for gh := range ghostSet {
+			ghostsOf[id] = append(ghostsOf[id], gh)
+		}
+	})
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(graph.V(u)) {
+			if part.Owner(graph.V(u)) < part.Owner(v) {
+				st.CutEdges++
+			}
+		}
+	}
+
+	send := func(dest int, up labelMsg) {
+		outstanding.Add(1)
+		messages.Add(1)
+		boxes[dest].put(up)
+	}
+
+	// Publish state per node; the initial wave runs BEFORE the actors
+	// start, so the outstanding counter is nonzero by the time the
+	// quiescence detector first reads it (otherwise an unlucky schedule
+	// could observe 0 before any message exists).
+	lastSent := make([]map[graph.V]graph.V, part.NumNodes)
+	publish := func(id int) {
+		uf := ufs[id]
+		for _, gh := range ghostsOf[id] {
+			lbl := uf.find(gh)
+			if prev, ok := lastSent[id][gh]; !ok || lbl < prev {
+				lastSent[id][gh] = lbl
+				send(part.Owner(gh), labelMsg{v: gh, label: lbl})
+			}
+		}
+	}
+	for id := 0; id < part.NumNodes; id++ {
+		lastSent[id] = make(map[graph.V]graph.V)
+		publish(id)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(part.NumNodes)
+	for id := 0; id < part.NumNodes; id++ {
+		go func(id int) {
+			defer wg.Done()
+			uf := ufs[id]
+			for !stop.Load() {
+				up, ok := boxes[id].tryGet()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				if uf.union(up.v, up.label) {
+					publish(id)
+				}
+				outstanding.Add(-1)
+			}
+		}(id)
+	}
+
+	// Quiescence: every enqueued message handled and no handler mid-
+	// flight (decrements happen after any follow-on sends).
+	for outstanding.Load() != 0 {
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	st.Messages = messages.Load()
+	st.BytesSent = st.Messages * 8
+	st.Rounds = 1 // asynchronous: no superstep structure
+
+	labels := make([]graph.V, n)
+	runOnNodes(part.NumNodes, func(id int) {
+		lo, hi := part.Range(id)
+		for u := lo; u < hi; u++ {
+			labels[u] = ufs[id].find(graph.V(u))
+		}
+	})
+	// Cross-node label shortcut, as in the BSP gather.
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n; u++ {
+			l := labels[u]
+			if int(l) < n {
+				if ll := labels[l]; ll != l && ll < l {
+					labels[u] = ll
+					changed = true
+				}
+			}
+		}
+	}
+	return labels, st
+}
+
+// labelMsg carries "vertex v's component reaches minimum label".
+type labelMsg struct {
+	v     graph.V
+	label graph.V
+}
+
+// mailbox is an unbounded MPSC queue: senders never block, so the
+// eager-propagation protocol cannot deadlock on full buffers.
+type mailbox struct {
+	mu sync.Mutex
+	q  []labelMsg
+}
+
+func newMailbox() *mailbox { return &mailbox{} }
+
+func (m *mailbox) put(msg labelMsg) {
+	m.mu.Lock()
+	m.q = append(m.q, msg)
+	m.mu.Unlock()
+}
+
+func (m *mailbox) tryGet() (labelMsg, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.q) == 0 {
+		return labelMsg{}, false
+	}
+	msg := m.q[0]
+	m.q = m.q[1:]
+	return msg, true
+}

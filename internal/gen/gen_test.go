@@ -1,0 +1,422 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"afforest/internal/graph"
+)
+
+func TestRNGDeterministicAndSpread(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := newRNG(43)
+	same := 0
+	a = newRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() == c.next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams from different seeds collide %d/100 times", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := newRNG(7)
+	counts := make([]int, 10)
+	for i := 0; i < 10_000; i++ {
+		v := r.intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("intn(10) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("intn(10) heavily skewed: bucket %d has %d/10000", v, c)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := newRNG(9)
+	var sum float64
+	for i := 0; i < 10_000; i++ {
+		f := r.float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("float64() = %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10_000; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestURandBasicShape(t *testing.T) {
+	g := URand(1000, 4000, 1)
+	if g.NumVertices() != 1000 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	// Dedup + self-loop removal shaves a little off 4000.
+	if g.NumEdges() < 3800 || g.NumEdges() > 4000 {
+		t.Fatalf("|E| = %d, want ~4000", g.NumEdges())
+	}
+}
+
+func TestURandDeterministic(t *testing.T) {
+	g1 := URand(500, 2000, 99)
+	g2 := URand(500, 2000, 99)
+	if g1.NumArcs() != g2.NumArcs() {
+		t.Fatal("same seed must give same graph")
+	}
+	for v := 0; v < 500; v++ {
+		a, b := g1.Neighbors(graph.V(v)), g2.Neighbors(graph.V(v))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("same seed must give identical adjacency")
+			}
+		}
+	}
+	g3 := URand(500, 2000, 100)
+	if g3.NumArcs() == g1.NumArcs() {
+		// Arc counts could coincide; compare adjacency of a few vertices.
+		diff := false
+		for v := 0; v < 500 && !diff; v++ {
+			a, b := g1.Neighbors(graph.V(v)), g3.Neighbors(graph.V(v))
+			if len(a) != len(b) {
+				diff = true
+				break
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					diff = true
+					break
+				}
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestURandDegreeMean(t *testing.T) {
+	g := URandDegree(5000, 16, 3)
+	avg := 2 * float64(g.NumEdges()) / float64(g.NumVertices())
+	if avg < 14.5 || avg > 16.5 {
+		t.Fatalf("average degree = %.2f, want ~16", avg)
+	}
+}
+
+func TestURandComponentsStructure(t *testing.T) {
+	const n = 4000
+	f := 0.25 // expect 4 components of ~1000 vertices
+	g := URandComponents(n, 16, f, 5)
+	_, sizes := graph.SequentialCC(g)
+	big := 0
+	for _, s := range sizes {
+		if s > 500 {
+			big++
+		}
+	}
+	if big != 4 {
+		t.Fatalf("got %d large components, want 4 (f=%.2f)", big, f)
+	}
+	// No edge may cross a block boundary.
+	block := int(float64(n) * f)
+	for u := graph.V(0); int(u) < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(u)/block != int(v)/block {
+				t.Fatalf("edge %d-%d crosses block boundary", u, v)
+			}
+		}
+	}
+}
+
+func TestURandComponentsGiant(t *testing.T) {
+	g := URandComponents(2000, 16, 1.0, 6)
+	_, sizes := graph.SequentialCC(g)
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	if float64(max) < 0.99*2000 {
+		t.Fatalf("f=1 should give one giant component, max=%d", max)
+	}
+}
+
+func TestURandComponentsPanicsOnBadF(t *testing.T) {
+	for _, f := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("f=%v: want panic", f)
+				}
+			}()
+			URandComponents(100, 4, f, 1)
+		}()
+	}
+}
+
+func TestKroneckerShape(t *testing.T) {
+	g := Kronecker(12, 16, Graph500, 7)
+	if g.NumVertices() != 1<<12 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	if g.NumEdges() < 1<<14 || g.NumEdges() > 16<<12 {
+		t.Fatalf("|E| = %d out of plausible range", g.NumEdges())
+	}
+	// Kronecker graphs are heavy-tailed: max degree far above average.
+	st := graph.ComputeStats(g, 1)
+	if float64(st.MaxDegree) < 10*st.AvgDegree {
+		t.Fatalf("kron not heavy-tailed: max=%d avg=%.1f", st.MaxDegree, st.AvgDegree)
+	}
+	// And many isolated vertices (a known Kronecker property).
+	if st.NumIsolated == 0 {
+		t.Fatal("kron should have isolated vertices")
+	}
+}
+
+func TestKroneckerDeterministic(t *testing.T) {
+	g1 := Kronecker(10, 8, Graph500, 3)
+	g2 := Kronecker(10, 8, Graph500, 3)
+	if g1.NumArcs() != g2.NumArcs() {
+		t.Fatal("same seed must give same kron graph")
+	}
+}
+
+func TestTwitterLikeShape(t *testing.T) {
+	g := TwitterLike(5000, 12, 11)
+	st := graph.ComputeStats(g, 1)
+	if st.Components != 1 {
+		t.Fatalf("preferential attachment must be connected, C=%d", st.Components)
+	}
+	if float64(st.MaxDegree) < 5*st.AvgDegree {
+		t.Fatalf("twitter-like not heavy-tailed: max=%d avg=%.1f", st.MaxDegree, st.AvgDegree)
+	}
+	if st.ApproxDiam > 10 {
+		t.Fatalf("twitter-like diameter too high: %d", st.ApproxDiam)
+	}
+	if st.AvgDegree < 15 || st.AvgDegree > 25 {
+		t.Fatalf("avg degree = %.1f, want ~2*attach", st.AvgDegree)
+	}
+}
+
+func TestTwitterLikeTinyN(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 13} {
+		g := TwitterLike(n, 12, 1)
+		if g.NumVertices() != n {
+			t.Fatalf("n=%d: |V|=%d", n, g.NumVertices())
+		}
+	}
+}
+
+func TestRoadShape(t *testing.T) {
+	g := Road(10_000, 13)
+	st := graph.ComputeStats(g, 1)
+	if st.MaxDegree > 4 {
+		t.Fatalf("road max degree = %d, want <=4", st.MaxDegree)
+	}
+	if st.AvgDegree < 3.0 || st.AvgDegree > 3.9 {
+		t.Fatalf("road avg degree = %.2f", st.AvgDegree)
+	}
+	// Grid diameter ~ 2*side = 200 for a 100x100 grid.
+	if st.ApproxDiam < 100 {
+		t.Fatalf("road diameter = %d, want high (Ω(√n))", st.ApproxDiam)
+	}
+	if st.MaxCompFrac < 0.9 {
+		t.Fatalf("road giant component fraction = %.2f", st.MaxCompFrac)
+	}
+}
+
+func TestRoadGridFullKeepIsConnectedLattice(t *testing.T) {
+	g := RoadGrid(20, 30, 1.0, 1)
+	if g.NumVertices() != 600 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	wantEdges := int64(19*30 + 20*29)
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("|E| = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	_, sizes := graph.SequentialCC(g)
+	if len(sizes) != 1 {
+		t.Fatalf("full lattice must be connected, C=%d", len(sizes))
+	}
+}
+
+func TestWebLikeShape(t *testing.T) {
+	g := WebLike(20_000, 20, 17)
+	st := graph.ComputeStats(g, 1)
+	if float64(st.MaxDegree) < 8*st.AvgDegree {
+		t.Fatalf("web not heavy-tailed: max=%d avg=%.1f", st.MaxDegree, st.AvgDegree)
+	}
+	if st.MaxCompFrac < 0.8 {
+		t.Fatalf("web giant component = %.2f of |V|", st.MaxCompFrac)
+	}
+	// Locality: most arcs should span < n/4 in id space.
+	var local, total int64
+	for u := graph.V(0); int(u) < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(u) {
+			d := int64(u) - int64(v)
+			if d < 0 {
+				d = -d
+			}
+			if d < int64(g.NumVertices()/4) {
+				local++
+			}
+			total++
+		}
+	}
+	if float64(local)/float64(total) < 0.6 {
+		t.Fatalf("web locality too low: %d/%d arcs local", local, total)
+	}
+}
+
+func TestRegularShape(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 8} {
+		g := Regular(2001, d, 23)
+		st := graph.ComputeStats(g, 1)
+		// Dedup can shave a few duplicate edges; degrees near d.
+		if st.MaxDegree > d {
+			t.Fatalf("d=%d: max degree %d exceeds d", d, st.MaxDegree)
+		}
+		if st.AvgDegree < float64(d)-0.3 {
+			t.Fatalf("d=%d: avg degree %.2f too low", d, st.AvgDegree)
+		}
+		if d >= 3 && st.Components != 1 {
+			t.Fatalf("d=%d: random regular graph should be connected, C=%d", d, st.Components)
+		}
+	}
+}
+
+func TestRegularTiny(t *testing.T) {
+	g := Regular(1, 4, 1)
+	if g.NumVertices() != 1 || g.NumEdges() != 0 {
+		t.Fatalf("Regular(1): %v", g)
+	}
+	g = Regular(2, 3, 1)
+	if g.NumEdges() != 1 { // all parallel edges collapse
+		t.Fatalf("Regular(2,3): %v", g)
+	}
+}
+
+func TestSuiteAllBuildable(t *testing.T) {
+	for _, sg := range Suite() {
+		g := sg.Build(10, 77)
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", sg.Name)
+		}
+		if sg.PaperAnalogue == "" {
+			t.Fatalf("%s: missing analogue description", sg.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	sg, err := ByName("kron")
+	if err != nil || sg.Name != "kron" {
+		t.Fatalf("ByName(kron): %v %v", sg, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) must fail")
+	}
+	if len(SuiteNames()) != 6 {
+		t.Fatalf("suite size = %d, want 6", len(SuiteNames()))
+	}
+}
+
+func BenchmarkURandScale16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		URandDegree(1<<16, 16, 1)
+	}
+}
+
+func BenchmarkKroneckerScale16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Kronecker(16, 16, Graph500, 1)
+	}
+}
+
+func TestRGGShape(t *testing.T) {
+	g := RGGDegree(5000, 12, 31)
+	if g.NumVertices() != 5000 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	st := graph.ComputeStats(g, 1)
+	if st.AvgDegree < 8 || st.AvgDegree > 16 {
+		t.Fatalf("avg degree = %.1f, want ~12", st.AvgDegree)
+	}
+	// Spatial locality carried into ids: most arcs span a small id range.
+	var local, total int64
+	for u := graph.V(0); int(u) < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(u) {
+			d := int64(u) - int64(v)
+			if d < 0 {
+				d = -d
+			}
+			if d < 1000 {
+				local++
+			}
+			total++
+		}
+	}
+	if float64(local)/float64(total) < 0.7 {
+		t.Fatalf("RGG id locality too low: %d/%d", local, total)
+	}
+	// Degree 12 > ln(5000)≈8.5: giant component expected.
+	if st.MaxCompFrac < 0.9 {
+		t.Fatalf("giant component fraction = %.2f", st.MaxCompFrac)
+	}
+}
+
+func TestRGGEdgesRespectRadius(t *testing.T) {
+	// Regenerate points with the same seed stream to verify geometry.
+	const n = 400
+	const radius = 0.08
+	g := RGG(n, radius, 77)
+	// Every vertex pair within radius must be connected and vice versa;
+	// reconstruct coordinates by replaying the generator's RNG.
+	r := newRNG(mix(77))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.float64()
+		ys[i] = r.float64()
+	}
+	// The generator renumbers by cell; we can't map ids back without
+	// repeating its logic, so check the invariant statistically: edge
+	// count must equal the number of point pairs within radius.
+	want := 0
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			dx, dy := xs[a]-xs[b], ys[a]-ys[b]
+			if dx*dx+dy*dy <= radius*radius {
+				want++
+			}
+		}
+	}
+	if int(g.NumEdges()) != want {
+		t.Fatalf("|E| = %d, brute force says %d", g.NumEdges(), want)
+	}
+}
+
+func TestRGGDegenerate(t *testing.T) {
+	if g := RGG(0, 0.1, 1); g.NumVertices() != 0 {
+		t.Fatal("empty RGG")
+	}
+	if g := RGG(10, 0, 1); g.NumEdges() != 0 {
+		t.Fatal("zero radius must give no edges")
+	}
+	if g := RGG(50, 2.0, 1); g.NumEdges() != 50*49/2 {
+		t.Fatalf("radius > sqrt(2) must give a clique, got %d edges", g.NumEdges())
+	}
+}

@@ -1,0 +1,94 @@
+package gen
+
+import (
+	"afforest/internal/concurrent"
+	"afforest/internal/graph"
+)
+
+// KronParams are the R-MAT recursion probabilities. The Graph500 /
+// GAP-benchmark values (A=0.57, B=0.19, C=0.19, D=0.05) are the ones
+// the paper's "kron" dataset uses.
+type KronParams struct {
+	A, B, C float64 // D is implied: 1 - A - B - C
+}
+
+// Graph500 is the standard Kronecker parameter set used by GAP and the
+// paper.
+var Graph500 = KronParams{A: 0.57, B: 0.19, C: 0.19}
+
+// Kronecker generates a Kronecker (R-MAT) graph with 2^scale vertices
+// and edgeFactor·2^scale undirected edges, the synthetic heavy-tailed
+// input of Table III ("kron"). Each edge is placed by descending the
+// 2x2 adjacency-matrix recursion scale times. Generation is
+// edge-parallel and deterministic in seed.
+//
+// Like the Graph500 generator, the raw stream contains duplicates and
+// self-loops; the CSR builder removes them, so realized |E| is slightly
+// below edgeFactor·2^scale (noticeably so for heavy hubs at small
+// scales), matching how GAP reports its kron statistics.
+func Kronecker(scale int, edgeFactor int, params KronParams, seed uint64) *graph.CSR {
+	n := 1 << uint(scale)
+	m := int64(edgeFactor) * int64(n)
+	ab := params.A + params.B
+	abc := ab + params.C
+	edges := make([]graph.Edge, m)
+	concurrent.For(int(m), 0, func(i int) {
+		r := newRNG(mix(seed ^ uint64(i)*0x94d049bb133111eb))
+		var u, v int
+		for bit := 0; bit < scale; bit++ {
+			p := r.float64()
+			switch {
+			case p < params.A:
+				// top-left: no bits set
+			case p < ab:
+				v |= 1 << uint(bit)
+			case p < abc:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		edges[i] = graph.Edge{U: graph.V(u), V: graph.V(v)}
+	})
+	return graph.Build(edges, graph.BuildOptions{NumVertices: n})
+}
+
+// TwitterLike generates a heavy-tailed social-network analogue of the
+// paper's twitter dataset [12]: a preferential-attachment graph where
+// each new vertex attaches `attach` edges to endpoints sampled from the
+// existing edge-endpoint multiset (degree-proportional), giving a
+// power-law degree distribution, a single giant component covering all
+// non-seed vertices, and low diameter.
+//
+// Generation is inherently sequential (each vertex depends on the
+// degree state left by its predecessors) but runs at O(m) total work.
+func TwitterLike(n, attach int, seed uint64) *graph.CSR {
+	if attach < 1 {
+		attach = 1
+	}
+	r := newRNG(mix(seed))
+	// endpoints holds every edge endpoint placed so far; sampling a
+	// uniform element is exactly degree-proportional sampling.
+	endpoints := make([]graph.V, 0, 2*attach*n)
+	edges := make([]graph.Edge, 0, attach*n)
+	// Seed clique of attach+1 vertices so early samples are well defined.
+	seedN := attach + 1
+	if seedN > n {
+		seedN = n
+	}
+	for u := 1; u < seedN; u++ {
+		for v := 0; v < u; v++ {
+			edges = append(edges, graph.Edge{U: graph.V(u), V: graph.V(v)})
+			endpoints = append(endpoints, graph.V(u), graph.V(v))
+		}
+	}
+	for u := seedN; u < n; u++ {
+		for k := 0; k < attach; k++ {
+			v := endpoints[r.intn(len(endpoints))]
+			edges = append(edges, graph.Edge{U: graph.V(u), V: v})
+			endpoints = append(endpoints, graph.V(u), v)
+		}
+	}
+	return graph.Build(edges, graph.BuildOptions{NumVertices: n})
+}

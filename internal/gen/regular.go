@@ -1,0 +1,52 @@
+package gen
+
+import (
+	"afforest/internal/graph"
+)
+
+// Regular generates a random (approximately) d-regular graph on n
+// vertices via the permutation-union model: d/2 independent random
+// cyclic permutations each contribute a cycle cover (every vertex gains
+// one in- and one out-edge), and their union is a d-regular multigraph
+// whose duplicate edges are removed by the builder. For odd d, one
+// additional perfect matching is added.
+//
+// This family realizes §IV-B of the paper: a connected d-regular graph
+// whose uniformly sampled subgraph with p ≥ (1+ε)/d contains a giant
+// component, with p·m = O(n) expected sampled edges (Claim 1).
+func Regular(n, d int, seed uint64) *graph.CSR {
+	if n < 2 {
+		return graph.Build(nil, graph.BuildOptions{NumVertices: n})
+	}
+	r := newRNG(mix(seed))
+	perm := make([]graph.V, n)
+	var edges []graph.Edge
+
+	shuffle := func() {
+		for i := range perm {
+			perm[i] = graph.V(i)
+		}
+		for i := n - 1; i > 0; i-- {
+			j := r.intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+
+	for k := 0; k < d/2; k++ {
+		// Random cyclic permutation: connect consecutive elements of a
+		// shuffled order (a Hamiltonian cycle), giving +2 degree each.
+		shuffle()
+		for i := 0; i < n; i++ {
+			edges = append(edges, graph.Edge{U: perm[i], V: perm[(i+1)%n]})
+		}
+	}
+	if d%2 == 1 {
+		// Perfect matching over a shuffled order (last vertex unmatched
+		// when n is odd).
+		shuffle()
+		for i := 0; i+1 < n; i += 2 {
+			edges = append(edges, graph.Edge{U: perm[i], V: perm[i+1]})
+		}
+	}
+	return graph.Build(edges, graph.BuildOptions{NumVertices: n})
+}

@@ -1,0 +1,122 @@
+package gen
+
+import (
+	"math"
+
+	"afforest/internal/graph"
+)
+
+// RGG generates a random geometric graph: n points uniform in the unit
+// square, vertices connected when within Euclidean distance radius.
+// With radius ≈ sqrt(c/(π·n)) the expected degree is c. RGGs combine
+// moderate diameter with strong spatial locality and a connectivity
+// threshold at c ≈ ln n — a third topology class (between road
+// lattices and urand) used widely in connectivity studies.
+//
+// Vertices are numbered in Morton-ish row-major cell order, so graph
+// ids inherit the spatial locality (as road/web ids do in their
+// datasets).
+func RGG(n int, radius float64, seed uint64) *graph.CSR {
+	if n == 0 {
+		return graph.Build(nil, graph.BuildOptions{})
+	}
+	if radius < 0 {
+		radius = 0
+	}
+	r := newRNG(mix(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.float64()
+		ys[i] = r.float64()
+	}
+
+	// Grid binning: cells of side >= radius, so neighbors lie within
+	// the 3x3 cell neighborhood.
+	cells := int(1 / math.Max(radius, 1e-9))
+	if cells < 1 {
+		cells = 1
+	}
+	if cells > 1<<12 {
+		cells = 1 << 12
+	}
+	side := 1.0 / float64(cells)
+	if side < radius {
+		// Guarantee cell side >= radius (may reduce cell count).
+		cells = int(1 / radius)
+		if cells < 1 {
+			cells = 1
+		}
+		side = 1.0 / float64(cells)
+	}
+	cellOf := func(i int) int {
+		cx := int(xs[i] / side)
+		cy := int(ys[i] / side)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cy*cells + cx
+	}
+	bins := make([][]int, cells*cells)
+	for i := 0; i < n; i++ {
+		c := cellOf(i)
+		bins[c] = append(bins[c], i)
+	}
+
+	// Renumber vertices by cell for id locality.
+	newID := make([]graph.V, n)
+	next := graph.V(0)
+	for _, bin := range bins {
+		for _, i := range bin {
+			newID[i] = next
+			next++
+		}
+	}
+
+	r2 := radius * radius
+	var edges []graph.Edge
+	for cy := 0; cy < cells; cy++ {
+		for cx := 0; cx < cells; cx++ {
+			home := bins[cy*cells+cx]
+			for dy := 0; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dy == 0 && dx < 0 {
+						continue // scan each unordered cell pair once
+					}
+					nx, ny := cx+dx, cy+dy
+					if nx < 0 || nx >= cells || ny >= cells {
+						continue
+					}
+					other := bins[ny*cells+nx]
+					sameCell := dx == 0 && dy == 0
+					for ai, a := range home {
+						start := 0
+						if sameCell {
+							start = ai + 1
+						}
+						for bi := start; bi < len(other); bi++ {
+							b := other[bi]
+							ddx, ddy := xs[a]-xs[b], ys[a]-ys[b]
+							if ddx*ddx+ddy*ddy <= r2 {
+								edges = append(edges, graph.Edge{U: newID[a], V: newID[b]})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return graph.Build(edges, graph.BuildOptions{NumVertices: n})
+}
+
+// RGGDegree generates an RGG with expected average degree deg.
+func RGGDegree(n, deg int, seed uint64) *graph.CSR {
+	if n == 0 {
+		return graph.Build(nil, graph.BuildOptions{})
+	}
+	radius := math.Sqrt(float64(deg) / (math.Pi * float64(n)))
+	return RGG(n, radius, seed)
+}

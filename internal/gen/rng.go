@@ -1,0 +1,54 @@
+// Package gen provides deterministic, seeded synthetic graph generators
+// covering every topology class in the paper's evaluation (Table III):
+// uniform-random (urand), Kronecker/R-MAT (kron, twitter-like), road-like
+// lattices (road, osm-eur), locality-clustered power-law web graphs
+// (web), random d-regular graphs (§IV-B), and the component-fraction
+// urand(f) family of Fig 8c.
+//
+// Real datasets used by the paper (twitter [12], sk-2005 web crawl, USA
+// and Europe road maps) are not redistributable nor downloadable in this
+// offline environment; each generator here is the closest synthetic
+// analogue of its class, controlling the properties Afforest's behaviour
+// depends on — degree distribution, diameter, and giant-component
+// structure. DESIGN.md §3 documents the substitution.
+package gen
+
+// rng is SplitMix64 (Steele et al., "Fast Splittable Pseudorandom Number
+// Generators"). Each edge index can be hashed to an independent stream,
+// which makes parallel generation deterministic regardless of worker
+// scheduling.
+import "math/bits"
+
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// next returns the next 64 random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n). n must be > 0.
+func (r *rng) intn(n int) int {
+	// Lemire's multiply-shift mapping; the residual bias for n << 2^64
+	// is far below anything observable.
+	hi, _ := bits.Mul64(r.next(), uint64(n))
+	return int(hi)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// mix hashes x into a well-distributed 64-bit value (the SplitMix64
+// finalizer). Used to derive per-index seeds.
+func mix(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

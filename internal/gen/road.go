@@ -1,0 +1,188 @@
+package gen
+
+import (
+	"math"
+
+	"afforest/internal/concurrent"
+	"afforest/internal/graph"
+)
+
+// RoadGrid generates a road-network analogue (Table III "road" and
+// "osm-eur"): a width×height 2D lattice where each lattice edge is kept
+// with probability keep. Road maps are characterized by near-constant
+// low degree (2–4) and very high diameter (Ω(√|V|) here, tens of
+// thousands of hops for the paper's datasets), which is exactly what a
+// sparse lattice reproduces. With keep < 1 the graph additionally
+// splinters into several components, matching the real road datasets'
+// C > 1.
+func RoadGrid(width, height int, keep float64, seed uint64) *graph.CSR {
+	n := width * height
+	at := func(x, y int) graph.V { return graph.V(y*width + x) }
+	// Two candidate lattice edges per vertex (right and down).
+	type cand struct{ u, v graph.V }
+	candAt := func(k int) (cand, bool) {
+		vtx, dir := k/2, k%2
+		x, y := vtx%width, vtx/width
+		if dir == 0 {
+			if x+1 >= width {
+				return cand{}, false
+			}
+			return cand{at(x, y), at(x+1, y)}, true
+		}
+		if y+1 >= height {
+			return cand{}, false
+		}
+		return cand{at(x, y), at(x, y+1)}, true
+	}
+	total := 2 * n
+	edges := make([]graph.Edge, total)
+	// Mark kept edges in place; a sentinel self-loop (dropped by the
+	// builder) marks rejected slots so generation stays edge-parallel.
+	concurrent.For(total, 0, func(k int) {
+		edges[k] = graph.Edge{U: 0, V: 0}
+		c, ok := candAt(k)
+		if !ok {
+			return
+		}
+		r := newRNG(mix(seed ^ uint64(k)*0x9e3779b97f4a7c15))
+		if r.float64() < keep {
+			edges[k] = graph.Edge{U: c.u, V: c.v}
+		}
+	})
+	return graph.Build(edges, graph.BuildOptions{NumVertices: n})
+}
+
+// Road generates a square road grid with ~n vertices at the default 95%
+// edge retention used throughout the benchmarks.
+func Road(n int, seed uint64) *graph.CSR {
+	side := isqrt(n)
+	if side < 1 {
+		side = 1
+	}
+	return RoadGrid(side, side, 0.95, seed)
+}
+
+func isqrt(n int) int {
+	if n < 0 {
+		return 0
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	return x
+}
+
+// WebLike generates a web-crawl analogue of the paper's "web" dataset
+// (sk-2005) using a host/family model: crawl order groups each "site"
+// contiguously — a parent page followed by its leaf children. Children
+// link to their parent (plus occasionally a sibling); parents carry the
+// remaining edge budget as cross-site links, concentrated on large
+// sites (a truncated Zipf over family sizes), mixing id-local targets
+// (nearby sites in crawl order) with uniform ones.
+//
+// This microstructure is what makes web the paper's slowest-converging
+// dataset under neighbor sampling (Fig 6): a leaf's single rank-1 edge
+// only merges it into its own family star, so after the first rounds
+// the forest still has roughly one tree per site (~83% linkage for
+// mean site size ~6), and coverage of c_max grows only as the parents'
+// deeper-ranked cross links are processed.
+func WebLike(n int, avgDeg int, seed uint64) *graph.CSR {
+	if n == 0 {
+		return graph.Build(nil, graph.BuildOptions{})
+	}
+	r := newRNG(mix(seed))
+	// Carve crawl order into families: parent id followed by children.
+	type family struct{ parent, size int }
+	var families []family
+	for i := 0; i < n; {
+		u := r.float64()
+		if u < 1e-9 {
+			u = 1e-9
+		}
+		// Zipf-ish size in [2, 2000], mean ≈ 6.
+		size := 2 + int(2.0/math.Pow(u, 0.7))
+		if size > 2000 {
+			size = 2000
+		}
+		if i+size > n {
+			size = n - i
+		}
+		families = append(families, family{parent: i, size: size})
+		i += size
+	}
+
+	// Emit edges in crawl order; the CSR preserves it (PreserveOrder),
+	// so neighbor rank r means "r-th appearing link", as in the paper.
+	// Per family: first child's parent link, then (usually) the
+	// parent's up-link to a previously crawled hub site, then the
+	// remaining children with occasional sibling rungs. All cross-site
+	// links come after every family block, i.e. at deep ranks.
+	var edges []graph.Edge
+	var hubs []int // parents of large, already-crawled families
+	for _, f := range families {
+		if f.size > 1 {
+			edges = append(edges, graph.Edge{U: graph.V(f.parent + 1), V: graph.V(f.parent)})
+		}
+		if r.float64() < 0.85 {
+			hub := 0
+			if len(hubs) > 0 {
+				hub = hubs[r.intn(len(hubs))]
+			}
+			if hub != f.parent {
+				edges = append(edges, graph.Edge{U: graph.V(f.parent), V: graph.V(hub)})
+			}
+		}
+		for c := f.parent + 2; c < f.parent+f.size; c++ {
+			edges = append(edges, graph.Edge{U: graph.V(c), V: graph.V(f.parent)})
+			if r.float64() < 0.25 && c+1 < f.parent+f.size {
+				edges = append(edges, graph.Edge{U: graph.V(c), V: graph.V(c + 1)})
+			}
+		}
+		if f.size >= 16 {
+			hubs = append(hubs, f.parent)
+		}
+	}
+	// Cross-site links: spend the remaining edge budget on parent
+	// pages, proportional to family size (big sites are hubs), mixing
+	// crawl-order-local and uniform targets.
+	budget := int64(n)*int64(avgDeg)/2 - int64(len(edges))
+	if budget > 0 && len(families) > 0 {
+		totalSize := 0
+		for _, f := range families {
+			totalSize += f.size
+		}
+		for _, f := range families {
+			share := int(budget * int64(f.size) / int64(totalSize))
+			for k := 0; k < share; k++ {
+				var t int
+				if r.float64() < 0.5 {
+					// Nearby site in crawl order.
+					span := float64(n) / 64
+					if span < 16 {
+						span = 16
+					}
+					off := 1 + int(math.Exp2(math.Log2(span)*r.float64()))
+					if r.next()&1 == 0 {
+						off = -off
+					}
+					t = f.parent + off
+					if t < 0 {
+						t += n
+					}
+					if t >= n {
+						t -= n
+					}
+				} else {
+					t = r.intn(n)
+				}
+				if t != f.parent {
+					edges = append(edges, graph.Edge{U: graph.V(f.parent), V: graph.V(t)})
+				}
+			}
+		}
+	}
+	return graph.Build(edges, graph.BuildOptions{NumVertices: n, PreserveOrder: true})
+}

@@ -1,0 +1,92 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"afforest/internal/graph"
+)
+
+// SuiteGraph is one named entry of the benchmark suite mirroring the
+// paper's Table III dataset list.
+type SuiteGraph struct {
+	// Name matches the paper's dataset name.
+	Name string
+	// PaperAnalogue describes the real dataset this generator stands for.
+	PaperAnalogue string
+	// Build generates the graph at the given scale (≈2^scale vertices).
+	Build func(scale int, seed uint64) *graph.CSR
+}
+
+// Suite returns the six-graph benchmark suite in the paper's Table III
+// order. Scale s yields roughly 2^s vertices per graph (the paper runs
+// at s≈27 on 64–256 GB machines; the harness defaults to a laptop-sized
+// s and exposes a flag to raise it).
+func Suite() []SuiteGraph {
+	return []SuiteGraph{
+		{
+			Name:          "road",
+			PaperAnalogue: "USA road network (high diameter, degree≈2.4)",
+			Build: func(scale int, seed uint64) *graph.CSR {
+				return Road(1<<uint(scale), seed)
+			},
+		},
+		{
+			Name:          "twitter",
+			PaperAnalogue: "twitter follower graph [12] (power law, giant component)",
+			Build: func(scale int, seed uint64) *graph.CSR {
+				return TwitterLike(1<<uint(scale), 12, seed)
+			},
+		},
+		{
+			Name:          "web",
+			PaperAnalogue: "sk-2005 web crawl (locality-clustered power law)",
+			Build: func(scale int, seed uint64) *graph.CSR {
+				return WebLike(1<<uint(scale), 20, seed)
+			},
+		},
+		{
+			Name:          "kron",
+			PaperAnalogue: "GAP Kronecker, Graph500 parameters, edge factor 16",
+			Build: func(scale int, seed uint64) *graph.CSR {
+				return Kronecker(scale, 16, Graph500, seed)
+			},
+		},
+		{
+			Name:          "urand",
+			PaperAnalogue: "GAP uniform random, average degree 16",
+			Build: func(scale int, seed uint64) *graph.CSR {
+				return URandDegree(1<<uint(scale), 16, seed)
+			},
+		},
+		{
+			Name:          "osm-eur",
+			PaperAnalogue: "Europe OSM road network (largest, highest diameter)",
+			Build: func(scale int, seed uint64) *graph.CSR {
+				return RoadGrid(1<<uint((scale+1)/2)*3/2, 1<<uint(scale/2), 0.97, seed)
+			},
+		},
+	}
+}
+
+// SuiteNames lists the suite graph names in order.
+func SuiteNames() []string {
+	s := Suite()
+	names := make([]string, len(s))
+	for i, g := range s {
+		names[i] = g.Name
+	}
+	return names
+}
+
+// ByName returns the suite entry with the given name.
+func ByName(name string) (SuiteGraph, error) {
+	for _, g := range Suite() {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	names := SuiteNames()
+	sort.Strings(names)
+	return SuiteGraph{}, fmt.Errorf("gen: unknown suite graph %q (have %v)", name, names)
+}

@@ -1,0 +1,62 @@
+package gen
+
+import (
+	"afforest/internal/concurrent"
+	"afforest/internal/graph"
+)
+
+// URand generates a uniformly random (Erdős–Rényi G(n, m)-style) graph
+// with n vertices and approximately m undirected edges: m endpoint pairs
+// drawn uniformly at random, then symmetrized and deduplicated by the
+// CSR builder. This matches the GAP benchmark's "urand" inputs used by
+// the paper, which draw 2^k vertices at average degree 16 (m = 8n).
+func URand(n int, m int64, seed uint64) *graph.CSR {
+	edges := make([]graph.Edge, m)
+	concurrent.For(int(m), 0, func(i int) {
+		r := newRNG(mix(seed ^ uint64(i)*0x9e3779b97f4a7c15))
+		edges[i] = graph.Edge{U: graph.V(r.intn(n)), V: graph.V(r.intn(n))}
+	})
+	return graph.Build(edges, graph.BuildOptions{NumVertices: n})
+}
+
+// URandDegree generates a urand graph with average degree deg
+// (m = n·deg/2 sampled edges).
+func URandDegree(n, deg int, seed uint64) *graph.CSR {
+	return URand(n, int64(n)*int64(deg)/2, seed)
+}
+
+// URandComponents generates the Fig 8c family: a uniformly random graph
+// with average component fraction f ∈ (0, 1]. The vertex range is split
+// into ⌊1/f⌋ blocks of ⌊n·f⌋ vertices (plus one block with the
+// remainder), and edges are drawn uniformly *within* each block with
+// average degree deg, so the expected component structure is ⌊1/f⌋
+// components of size ⌊n·f⌋. With deg well above the connectivity
+// threshold (the paper uses 16), each block is connected almost surely.
+func URandComponents(n, deg int, f float64, seed uint64) *graph.CSR {
+	if f <= 0 || f > 1 {
+		panic("gen: component fraction must be in (0, 1]")
+	}
+	block := int(float64(n) * f)
+	if block < 1 {
+		block = 1
+	}
+	m := int64(n) * int64(deg) / 2
+	edges := make([]graph.Edge, m)
+	concurrent.For(int(m), 0, func(i int) {
+		r := newRNG(mix(seed ^ uint64(i)*0xbf58476d1ce4e5b9))
+		// Pick a block proportionally to its size by picking a uniform
+		// vertex and snapping to its block.
+		b := r.intn(n) / block
+		lo := b * block
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		span := hi - lo
+		edges[i] = graph.Edge{
+			U: graph.V(lo + r.intn(span)),
+			V: graph.V(lo + r.intn(span)),
+		}
+	})
+	return graph.Build(edges, graph.BuildOptions{NumVertices: n})
+}

@@ -1,0 +1,160 @@
+// Package gpusim models the execution characteristics that decide the
+// paper's GPU comparison (Section VI-B, Fig 8a GPU panel) on a machine
+// without a GPU: warp-lockstep execution, memory-transaction
+// coalescing, and warp divergence.
+//
+// The paper explains the GPU results qualitatively: Soman et al.'s
+// edge-list SV "trades memory access round-trips for homogeneous-work
+// edge streaming", while CSR-based kernels suffer load imbalance on
+// power-law graphs but win on narrow-degree road networks; Afforest's
+// neighbor rounds restore balance to CSR by giving every thread the
+// same per-round work. This package turns those claims into measured
+// numbers: kernels declare their memory accesses through a Thread
+// handle, and the device replays each warp in lockstep, counting the
+// distinct cache lines ("transactions") per access step and the idle
+// lanes per step (divergence).
+package gpusim
+
+import "fmt"
+
+// Config describes the modeled device.
+type Config struct {
+	// WarpSize is the number of lanes executing in lockstep (32 on the
+	// paper's Pascal P100).
+	WarpSize int
+	// LineBytes is the memory-transaction granularity (128-byte global
+	// memory transactions on Pascal; 32-byte sectors are also common —
+	// the relative comparison is insensitive to the choice).
+	LineBytes int
+}
+
+// DefaultConfig models a Pascal-class device.
+func DefaultConfig() Config { return Config{WarpSize: 32, LineBytes: 128} }
+
+// Metrics aggregates the cost model over kernel launches.
+type Metrics struct {
+	Kernels      int64 // kernel launches
+	Threads      int64 // logical threads executed
+	Steps        int64 // warp-lockstep steps (max lane trace length per warp)
+	LaneSteps    int64 // sum of lane trace lengths (useful work)
+	Transactions int64 // memory transactions (distinct lines per warp step)
+	Accesses     int64 // individual lane accesses
+}
+
+// Utilization is LaneSteps / (Steps · WarpSize-equivalent): the
+// fraction of lane-steps doing useful work; low values mean divergence.
+func (m Metrics) Utilization(warpSize int) float64 {
+	denom := float64(m.Steps) * float64(warpSize)
+	if denom == 0 {
+		return 0
+	}
+	return float64(m.LaneSteps) / denom
+}
+
+// CoalescingFactor is Accesses / Transactions: how many lane accesses
+// each memory transaction serves (warpSize is perfect, 1 is fully
+// scattered).
+func (m Metrics) CoalescingFactor() float64 {
+	if m.Transactions == 0 {
+		return 0
+	}
+	return float64(m.Accesses) / float64(m.Transactions)
+}
+
+// String renders the metrics on one line.
+func (m Metrics) String() string {
+	return fmt.Sprintf("kernels=%d threads=%d steps=%d txns=%d coalesce=%.2f",
+		m.Kernels, m.Threads, m.Steps, m.Transactions, m.CoalescingFactor())
+}
+
+// access identifies one 4-byte load/store: which array and which index.
+type access struct {
+	array int
+	index int64
+}
+
+// Thread is the handle a kernel uses to declare its memory traffic.
+// Each Touch* call appends to the lane's trace; the device later
+// replays traces in lockstep.
+type Thread struct {
+	trace []access
+}
+
+// Touch records a 4-byte access to element index of the identified
+// array (arrays are distinguished by caller-chosen small ids: π,
+// offsets, targets, src, ...).
+func (t *Thread) Touch(array int, index int64) {
+	t.trace = append(t.trace, access{array: array, index: index})
+}
+
+// Device accumulates metrics across kernel launches.
+type Device struct {
+	cfg Config
+	m   Metrics
+}
+
+// NewDevice creates a device with the given configuration.
+func NewDevice(cfg Config) *Device {
+	if cfg.WarpSize < 1 {
+		cfg.WarpSize = 32
+	}
+	if cfg.LineBytes < 4 {
+		cfg.LineBytes = 128
+	}
+	return &Device{cfg: cfg}
+}
+
+// Metrics returns the accumulated metrics.
+func (d *Device) Metrics() Metrics { return d.m }
+
+// Launch models a kernel over n logical threads: body(tid, t) runs for
+// each thread, declaring memory accesses on t. Threads are grouped into
+// warps of WarpSize consecutive tids; each warp executes in lockstep —
+// step i replays the i-th access of every lane, and the distinct
+// (array, line) pairs at that step count as memory transactions.
+//
+// The body may freely compute on real data (the algorithms run for
+// real); only declared accesses enter the cost model.
+func (d *Device) Launch(n int, body func(tid int, t *Thread)) {
+	d.m.Kernels++
+	entriesPerLine := int64(d.cfg.LineBytes / 4)
+	var th Thread
+	traces := make([][]access, d.cfg.WarpSize)
+	for warpStart := 0; warpStart < n; warpStart += d.cfg.WarpSize {
+		warpEnd := warpStart + d.cfg.WarpSize
+		if warpEnd > n {
+			warpEnd = n
+		}
+		lanes := warpEnd - warpStart
+		maxLen := 0
+		for lane := 0; lane < lanes; lane++ {
+			th.trace = th.trace[:0]
+			body(warpStart+lane, &th)
+			traces[lane] = append(traces[lane][:0], th.trace...)
+			if len(traces[lane]) > maxLen {
+				maxLen = len(traces[lane])
+			}
+			d.m.Threads++
+			d.m.LaneSteps += int64(len(traces[lane]))
+			d.m.Accesses += int64(len(traces[lane]))
+		}
+		d.m.Steps += int64(maxLen)
+		// Lockstep replay: coalesce each step's lane accesses.
+		seen := make(map[[2]int64]struct{}, lanes)
+		for step := 0; step < maxLen; step++ {
+			for k := range seen {
+				delete(seen, k)
+			}
+			for lane := 0; lane < lanes; lane++ {
+				if step < len(traces[lane]) {
+					a := traces[lane][step]
+					key := [2]int64{int64(a.array), a.index / entriesPerLine}
+					if _, ok := seen[key]; !ok {
+						seen[key] = struct{}{}
+						d.m.Transactions++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package gpusim
+
+import (
+	"testing"
+
+	"afforest/internal/gen"
+	"afforest/internal/graph"
+)
+
+func assertOracle(t *testing.T, g *graph.CSR, name string, labels []graph.V) {
+	t.Helper()
+	oracle, _ := graph.SequentialCC(g)
+	fwd := map[int32]graph.V{}
+	rev := map[graph.V]int32{}
+	for v := range oracle {
+		o, l := oracle[v], labels[v]
+		if want, ok := fwd[o]; ok && want != l {
+			t.Fatalf("%s: vertex %d mislabeled", name, v)
+		}
+		fwd[o] = l
+		if want, ok := rev[l]; ok && want != o {
+			t.Fatalf("%s: label %d spans components", name, l)
+		}
+		rev[l] = o
+	}
+}
+
+func TestDeviceCoalescingPerfectSequential(t *testing.T) {
+	// 32 lanes touching consecutive indices of one array: with 128-byte
+	// lines (32 entries), each warp step is exactly 1 transaction.
+	dev := NewDevice(DefaultConfig())
+	dev.Launch(32, func(tid int, th *Thread) {
+		th.Touch(0, int64(tid))
+	})
+	m := dev.Metrics()
+	if m.Transactions != 1 {
+		t.Fatalf("transactions = %d, want 1 (fully coalesced)", m.Transactions)
+	}
+	if m.CoalescingFactor() != 32 {
+		t.Fatalf("coalescing = %v, want 32", m.CoalescingFactor())
+	}
+	if m.Utilization(32) != 1.0 {
+		t.Fatalf("utilization = %v", m.Utilization(32))
+	}
+}
+
+func TestDeviceScatteredAccesses(t *testing.T) {
+	// Each lane touches a distinct line: 32 transactions for 32 accesses.
+	dev := NewDevice(DefaultConfig())
+	dev.Launch(32, func(tid int, th *Thread) {
+		th.Touch(0, int64(tid)*64) // 64 entries apart = 2 lines apart
+	})
+	m := dev.Metrics()
+	if m.Transactions != 32 {
+		t.Fatalf("transactions = %d, want 32 (fully scattered)", m.Transactions)
+	}
+	if m.CoalescingFactor() != 1 {
+		t.Fatalf("coalescing = %v, want 1", m.CoalescingFactor())
+	}
+}
+
+func TestDeviceDivergence(t *testing.T) {
+	// Lane 0 does 10 steps, the rest do 1: warp steps = 10, useful
+	// lane-steps = 10 + 31.
+	dev := NewDevice(DefaultConfig())
+	dev.Launch(32, func(tid int, th *Thread) {
+		steps := 1
+		if tid == 0 {
+			steps = 10
+		}
+		for s := 0; s < steps; s++ {
+			th.Touch(0, int64(tid))
+		}
+	})
+	m := dev.Metrics()
+	if m.Steps != 10 {
+		t.Fatalf("steps = %d, want 10 (max lane)", m.Steps)
+	}
+	if m.LaneSteps != 41 {
+		t.Fatalf("lane steps = %d, want 41", m.LaneSteps)
+	}
+	if u := m.Utilization(32); u < 0.12 || u > 0.13 {
+		t.Fatalf("utilization = %v, want 41/320", u)
+	}
+}
+
+func TestDevicePartialLastWarp(t *testing.T) {
+	dev := NewDevice(DefaultConfig())
+	dev.Launch(40, func(tid int, th *Thread) { th.Touch(0, int64(tid)) })
+	m := dev.Metrics()
+	if m.Threads != 40 || m.Kernels != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if m.Steps != 2 { // two warps, one step each
+		t.Fatalf("steps = %d", m.Steps)
+	}
+}
+
+func TestAllGPUKernelsMatchOracle(t *testing.T) {
+	for _, sg := range gen.Suite() {
+		g := sg.Build(8, 61)
+		cfg := DefaultConfig()
+		assertOracle(t, g, "sv-edgelist/"+sg.Name, SVEdgeList(g, cfg).Labels)
+		assertOracle(t, g, "sv-csr/"+sg.Name, SVCSR(g, cfg).Labels)
+		assertOracle(t, g, "afforest/"+sg.Name, Afforest(g, 2, true, cfg).Labels)
+		assertOracle(t, g, "afforest-noskip/"+sg.Name, Afforest(g, 2, false, cfg).Labels)
+	}
+}
+
+func TestEdgeListCoalescesBetterThanCSROnKron(t *testing.T) {
+	// The paper's GPU claim: on power-law graphs, edge-list streaming
+	// is the better layout — higher warp utilization (homogeneous work)
+	// than vertex-centric CSR, whose hub threads serialize their warps.
+	g := gen.Kronecker(11, 16, gen.Graph500, 5)
+	cfg := DefaultConfig()
+	el := SVEdgeList(g, cfg).Metrics
+	csr := SVCSR(g, cfg).Metrics
+	if el.Utilization(cfg.WarpSize) <= csr.Utilization(cfg.WarpSize) {
+		t.Fatalf("edge-list utilization %.3f must beat CSR %.3f on kron",
+			el.Utilization(cfg.WarpSize), csr.Utilization(cfg.WarpSize))
+	}
+}
+
+func TestCSRBalancedOnRoad(t *testing.T) {
+	// On narrow-degree road graphs per-vertex work is uniform, so CSR's
+	// utilization recovers — the regime where CSR SV beats Soman's
+	// edge list in the paper (osm-eur, road).
+	g := gen.Road(1<<11, 9)
+	cfg := DefaultConfig()
+	csr := SVCSR(g, cfg).Metrics
+	if u := csr.Utilization(cfg.WarpSize); u < 0.5 {
+		t.Fatalf("CSR utilization on road = %.3f, want balanced (>0.5)", u)
+	}
+	// The balance claim in relative form: CSR utilization on road far
+	// exceeds CSR utilization on the power-law kron graph.
+	kron := gen.Kronecker(11, 16, gen.Graph500, 9)
+	csrKron := SVCSR(kron, cfg).Metrics
+	if csr.Utilization(cfg.WarpSize) <= csrKron.Utilization(cfg.WarpSize) {
+		t.Fatalf("CSR utilization road %.3f must beat kron %.3f",
+			csr.Utilization(cfg.WarpSize), csrKron.Utilization(cfg.WarpSize))
+	}
+	// CSR also does strictly fewer lane accesses than the COO-expanded
+	// edge list (no per-arc source reload).
+	el := SVEdgeList(g, cfg).Metrics
+	if csr.Accesses >= el.Accesses {
+		t.Fatalf("CSR accesses %d must be below edge-list %d on road",
+			csr.Accesses, el.Accesses)
+	}
+}
+
+func TestAfforestGPUTrafficFarBelowSV(t *testing.T) {
+	g := gen.URandDegree(1<<12, 16, 3)
+	cfg := DefaultConfig()
+	aff := Afforest(g, 2, true, cfg).Metrics
+	sv := SVEdgeList(g, cfg).Metrics
+	if aff.Transactions*2 > sv.Transactions {
+		t.Fatalf("afforest transactions %d not far below SV's %d",
+			aff.Transactions, sv.Transactions)
+	}
+}
+
+func TestAfforestGPUNeighborRoundsBalanced(t *testing.T) {
+	// Neighbor-round kernels give each thread at most one link: high
+	// utilization even on a heavy-tailed graph, compared with the
+	// divergent full-adjacency CSR SV kernel.
+	g := gen.Kronecker(11, 16, gen.Graph500, 7)
+	cfg := DefaultConfig()
+	aff := Afforest(g, 2, true, cfg).Metrics
+	csr := SVCSR(g, cfg).Metrics
+	if aff.Utilization(cfg.WarpSize) <= csr.Utilization(cfg.WarpSize) {
+		t.Fatalf("afforest utilization %.3f must beat CSR SV %.3f",
+			aff.Utilization(cfg.WarpSize), csr.Utilization(cfg.WarpSize))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	d := NewDevice(Config{})
+	d.Launch(1, func(int, *Thread) {})
+	if d.Metrics().Threads != 1 {
+		t.Fatal("degenerate config must still run")
+	}
+	if (Metrics{}).CoalescingFactor() != 0 || (Metrics{}).Utilization(32) != 0 {
+		t.Fatal("zero metrics must not divide by zero")
+	}
+	if (Metrics{}).String() == "" {
+		t.Fatal("empty String")
+	}
+}

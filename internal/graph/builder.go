@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"sync/atomic"
+
+	"afforest/internal/concurrent"
+)
+
+// BuildOptions controls CSR construction from an edge list.
+type BuildOptions struct {
+	// NumVertices fixes |V|. Zero means infer as max endpoint + 1.
+	NumVertices int
+	// KeepDuplicates retains parallel edges instead of deduplicating.
+	// The paper's datasets are simple graphs, so the default removes
+	// duplicates; generators that intentionally produce multi-edges
+	// (e.g. raw Kronecker output) may keep them to mirror GAP.
+	KeepDuplicates bool
+	// KeepSelfLoops retains (v, v) edges. Self-loops carry no
+	// connectivity information, so the default drops them.
+	KeepSelfLoops bool
+	// PreserveOrder keeps each vertex's arcs in input-edge order
+	// instead of sorting them by target id — the "graph file structure"
+	// the paper's neighbor sampling exploits (§VI-A: the r-th sampled
+	// neighbor is the r-th *appearing* one). Preserving order forces a
+	// sequential scatter and implies KeepDuplicates, since dedup needs
+	// sorted adjacency.
+	PreserveOrder bool
+	// Parallelism bounds worker count; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// Build constructs an undirected CSR from edges: each {u, v} input edge
+// is stored as both arcs (u, v) and (v, u). Adjacency lists come out
+// sorted by target id.
+//
+// Construction is the parallel three-phase scheme used by GAP: atomic
+// degree counting, parallel prefix sum into row offsets, then atomic
+// scatter of arcs, followed by a per-vertex parallel sort (+ optional
+// dedup with offset rebuild).
+func Build(edges []Edge, opt BuildOptions) *CSR {
+	p := concurrent.Procs(opt.Parallelism)
+	n := opt.NumVertices
+	if n == 0 {
+		var maxID int64 = -1
+		part := make([]int64, p)
+		for i := range part {
+			part[i] = -1
+		}
+		concurrent.ForRange(len(edges), p, 0, func(lo, hi, w int) {
+			m := part[w]
+			for i := lo; i < hi; i++ {
+				if int64(edges[i].U) > m {
+					m = int64(edges[i].U)
+				}
+				if int64(edges[i].V) > m {
+					m = int64(edges[i].V)
+				}
+			}
+			part[w] = m
+		})
+		for _, m := range part {
+			if m > maxID {
+				maxID = m
+			}
+		}
+		n = int(maxID + 1)
+	}
+	if n < 0 {
+		n = 0
+	}
+
+	keep := func(e Edge) bool {
+		return (opt.KeepSelfLoops || e.U != e.V) && int(e.U) < n && int(e.V) < n
+	}
+
+	// Phase 1: degrees.
+	deg := make([]int32, n)
+	concurrent.For(len(edges), p, func(i int) {
+		e := edges[i]
+		if !keep(e) {
+			return
+		}
+		atomic.AddInt32(&deg[e.U], 1)
+		atomic.AddInt32(&deg[e.V], 1)
+	})
+
+	// Phase 2: offsets.
+	offsets := concurrent.ExclusiveScanInts(deg, p)
+
+	// Phase 3: scatter with per-vertex cursors. PreserveOrder demands a
+	// deterministic arc order per vertex, so its scatter is sequential;
+	// the default path scatters in parallel with atomic cursors (order
+	// irrelevant — phase 4 sorts).
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	targets := make([]V, offsets[n])
+	if opt.PreserveOrder {
+		for _, e := range edges {
+			if !keep(e) {
+				continue
+			}
+			targets[cursor[e.U]] = e.V
+			cursor[e.U]++
+			targets[cursor[e.V]] = e.U
+			cursor[e.V]++
+		}
+		return &CSR{offsets: offsets, targets: targets}
+	}
+	concurrent.For(len(edges), p, func(i int) {
+		e := edges[i]
+		if !keep(e) {
+			return
+		}
+		targets[atomic.AddInt64(&cursor[e.U], 1)-1] = e.V
+		targets[atomic.AddInt64(&cursor[e.V], 1)-1] = e.U
+	})
+
+	// Phase 4: sort each adjacency list (hybrid insertion/LSD-radix;
+	// see radix.go).
+	radixSortAdjacency(offsets, targets, p)
+
+	g := &CSR{offsets: offsets, targets: targets}
+	if !opt.KeepDuplicates {
+		g = dedup(g, p)
+	}
+	return g
+}
+
+// dedup removes repeated targets from each (sorted) adjacency list and
+// rebuilds the offsets.
+func dedup(g *CSR, p int) *CSR {
+	n := g.NumVertices()
+	newDeg := make([]int32, n)
+	concurrent.ForGrain(n, p, 64, func(v int) {
+		adj := g.Neighbors(V(v))
+		var d int32
+		for i, t := range adj {
+			if i == 0 || t != adj[i-1] {
+				d++
+			}
+		}
+		newDeg[v] = d
+	})
+	offsets := concurrent.ExclusiveScanInts(newDeg, p)
+	targets := make([]V, offsets[n])
+	concurrent.ForGrain(n, p, 64, func(v int) {
+		adj := g.Neighbors(V(v))
+		k := offsets[v]
+		for i, t := range adj {
+			if i == 0 || t != adj[i-1] {
+				targets[k] = t
+				k++
+			}
+		}
+	})
+	return &CSR{offsets: offsets, targets: targets}
+}
+
+// FromAdjacency builds a CSR from explicit adjacency lists, symmetrizing
+// and deduplicating. Intended for small hand-written test graphs.
+func FromAdjacency(adj [][]V) *CSR {
+	var edges []Edge
+	for u, nbrs := range adj {
+		for _, v := range nbrs {
+			edges = append(edges, Edge{U: V(u), V: v})
+		}
+	}
+	return Build(edges, BuildOptions{NumVertices: len(adj)})
+}
+
+// FilterEdges builds the subgraph of g (same vertex set) containing only
+// the undirected edges {u, v} for which keep(u, v) is true. keep is
+// evaluated once per undirected edge with u <= v.
+func FilterEdges(g *CSR, keep func(u, v V) bool) *CSR {
+	var kept []Edge
+	for u := V(0); int(u) < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u <= v && keep(u, v) {
+				kept = append(kept, Edge{U: u, V: v})
+			}
+		}
+	}
+	return Build(kept, BuildOptions{NumVertices: g.NumVertices()})
+}

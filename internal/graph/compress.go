@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Compressed binary format (".csrz"): sorted adjacency lists are
+// delta-encoded (first target absolute, rest as gaps) and written as
+// unsigned varints. Road- and web-class graphs, whose neighbors cluster
+// in id space, shrink 2–4× versus the raw .csr dump; the format exists
+// because the paper-scale datasets (twitter: 1.5 G arcs) are
+// storage-bound long before they are compute-bound.
+
+const csrzMagic = "AFCSZ\x01"
+
+// WriteCompressed writes g in the .csrz format. Adjacency lists must be
+// sorted (the default builder output); PreserveOrder graphs should use
+// WriteBinary instead, and WriteCompressed reports an error when it
+// encounters an unsorted list.
+func WriteCompressed(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(csrzMagic); err != nil {
+		return err
+	}
+	hdr := [2]uint64{uint64(g.NumVertices()), uint64(g.NumArcs())}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) error {
+		k := binary.PutUvarint(buf[:], x)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		adj := g.Neighbors(V(v))
+		if err := putUvarint(uint64(len(adj))); err != nil {
+			return err
+		}
+		prev := int64(-1)
+		for i, t := range adj {
+			if i > 0 && int64(t) < prev {
+				return fmt.Errorf("graph: vertex %d has unsorted adjacency; .csrz requires sorted lists", v)
+			}
+			var gap uint64
+			if i == 0 {
+				gap = uint64(t)
+			} else {
+				gap = uint64(int64(t) - prev) // >= 0; duplicates encode as 0
+			}
+			if err := putUvarint(gap); err != nil {
+				return err
+			}
+			prev = int64(t)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCompressed reads a .csrz stream written by WriteCompressed.
+func ReadCompressed(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(csrzMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != csrzMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var hdr [2]uint64
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	n, m := hdr[0], hdr[1]
+	const maxReasonable = 1 << 40
+	if n > maxReasonable || m > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible sizes |V|=%d arcs=%d", n, m)
+	}
+	offsets := make([]int64, n+1)
+	targets := make([]V, 0, m)
+	for v := uint64(0); v < n; v++ {
+		deg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: vertex %d degree: %w", v, err)
+		}
+		if uint64(len(targets))+deg > m {
+			return nil, fmt.Errorf("graph: arc count overflows header (vertex %d)", v)
+		}
+		var prev uint64
+		for i := uint64(0); i < deg; i++ {
+			gap, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("graph: vertex %d arc %d: %w", v, i, err)
+			}
+			var t uint64
+			if i == 0 {
+				t = gap
+			} else {
+				t = prev + gap
+			}
+			if t >= n {
+				return nil, fmt.Errorf("graph: target %d out of range (|V|=%d)", t, n)
+			}
+			targets = append(targets, V(t))
+			prev = t
+		}
+		offsets[v+1] = int64(len(targets))
+	}
+	if uint64(len(targets)) != m {
+		return nil, fmt.Errorf("graph: decoded %d arcs, header says %d", len(targets), m)
+	}
+	return &CSR{offsets: offsets, targets: targets}, nil
+}

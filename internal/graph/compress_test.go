@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"strings"
+)
+
+func TestCompressedRoundTrip(t *testing.T) {
+	g := twoTriangles()
+	var buf bytes.Buffer
+	if err := WriteCompressed(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestCompressedSmallerThanRawOnLocalGraph(t *testing.T) {
+	// Road-like lattices have tiny adjacency gaps: varint delta coding
+	// must beat the raw 4-byte dump decisively.
+	var edges []Edge
+	const side = 60
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			v := V(y*side + x)
+			if x+1 < side {
+				edges = append(edges, Edge{v, v + 1})
+			}
+			if y+1 < side {
+				edges = append(edges, Edge{v, v + V(side)})
+			}
+		}
+	}
+	g := Build(edges, BuildOptions{})
+	var raw, comp bytes.Buffer
+	if err := WriteBinary(&raw, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCompressed(&comp, g); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len()*2 > raw.Len() {
+		t.Fatalf("compressed %dB not under half of raw %dB", comp.Len(), raw.Len())
+	}
+	g2, err := ReadCompressed(&comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestCompressedRejectsUnsorted(t *testing.T) {
+	g := NewCSR([]int64{0, 2}, []V{0, 0}) // duplicate targets are fine (gap 0)
+	var buf bytes.Buffer
+	if err := WriteCompressed(&buf, g); err != nil {
+		t.Fatalf("duplicates must encode: %v", err)
+	}
+	bad := NewCSR([]int64{0, 2, 2}, []V{1, 0}) // unsorted adjacency of vertex 0
+	if err := WriteCompressed(&buf, bad); err == nil {
+		t.Fatal("unsorted adjacency accepted")
+	}
+}
+
+func TestCompressedRejectsCorruption(t *testing.T) {
+	g := path5()
+	var buf bytes.Buffer
+	if err := WriteCompressed(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := ReadCompressed(bytes.NewReader(good[:len(good)-2])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	bad := append([]byte{}, good...)
+	bad[0] ^= 0xff
+	if _, err := ReadCompressed(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadCompressed(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestLoadSaveCompressedFile(t *testing.T) {
+	dir := t.TempDir()
+	g := twoTriangles()
+	path := dir + "/g.csrz"
+	if err := SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}

@@ -1,0 +1,163 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := twoTriangles()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, BuildOptions{NumVertices: g.NumVertices()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestReadEdgeListCommentsAndBlank(t *testing.T) {
+	in := "# comment\n% matrix-market style comment\n\n0 1\n  1   2  \n"
+	g, err := ReadEdgeList(strings.NewReader(in), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed %v", g)
+	}
+}
+
+func TestReadEdgeListExtraFieldsIgnored(t *testing.T) {
+	// Weighted edge lists carry a third column; we ignore it.
+	g, err := ReadEdgeList(strings.NewReader("0 1 3.5\n1 2 0.1\n"), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("parsed %v", g)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",             // too few fields
+		"a b\n",           // non-numeric source
+		"0 b\n",           // non-numeric target
+		"-1 2\n",          // negative id
+		"99999999999 0\n", // > 32 bits
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), BuildOptions{}); err == nil {
+			t.Errorf("input %q: want error", in)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	edges := make([]Edge, 3000)
+	for i := range edges {
+		edges[i] = Edge{V(rng.Intn(500)), V(rng.Intn(500))}
+	}
+	g := Build(edges, BuildOptions{NumVertices: 500})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	g := path5()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, good...)
+	bad[0] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupt magic accepted")
+	}
+
+	// Truncated payload.
+	if _, err := ReadBinary(bytes.NewReader(good[:len(good)-4])); err == nil {
+		t.Error("truncated file accepted")
+	}
+
+	// Out-of-range target.
+	bad = append([]byte{}, good...)
+	// Last 4 bytes are the final target; make it huge.
+	for i := len(bad) - 4; i < len(bad); i++ {
+		bad[i] = 0xff
+	}
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+
+	// Empty input.
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestLoadSaveFile(t *testing.T) {
+	dir := t.TempDir()
+	g := twoTriangles()
+
+	binPath := filepath.Join(dir, "g.csr")
+	if err := SaveFile(binPath, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+
+	// Text edge lists cannot carry trailing isolated vertices (vertex 6
+	// of twoTriangles), so round-trip a graph without them.
+	gp := path5()
+	txtPath := filepath.Join(dir, "g.el")
+	if err := SaveFile(txtPath, gp); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := LoadFile(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, gp, g3)
+
+	if _, err := LoadFile(filepath.Join(dir, "missing.csr")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func assertSameGraph(t *testing.T, a, b *CSR) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumArcs() != b.NumArcs() {
+		t.Fatalf("size mismatch: %v vs %v", a, b)
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		na, nb := a.Neighbors(V(v)), b.Neighbors(V(v))
+		if len(na) != len(nb) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("adjacency mismatch at vertex %d index %d", v, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"sort"
+
+	"afforest/internal/concurrent"
+)
+
+// radixSortAdjacency sorts every adjacency list of the CSR in place
+// using an LSD radix sort over a shared scratch buffer, parallelized
+// across vertices. For large average degrees this beats per-vertex
+// comparison sorting (the builder's default) by a constant factor; the
+// builder switches to it automatically above a degree threshold, and
+// the ablation benchmark BenchmarkBuilderSortVariants quantifies the
+// crossover.
+//
+// Lists shorter than radixMinLen use insertion sort — radix passes
+// cannot amortize on tiny lists.
+const radixMinLen = 64
+
+func radixSortAdjacency(offsets []int64, targets []V, parallelism int) {
+	n := len(offsets) - 1
+	concurrent.ForGrain(n, parallelism, 32, func(v int) {
+		adj := targets[offsets[v]:offsets[v+1]]
+		switch {
+		case len(adj) < 2 || sortedUnique(adj):
+		case len(adj) < radixMinLen:
+			insertionSortV(adj)
+		default:
+			radixSortV(adj)
+		}
+	})
+}
+
+func insertionSortV(a []V) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > x {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+// radixSortV sorts a in place by four 8-bit LSD passes, skipping passes
+// whose byte is constant across the slice (common: high bytes of small
+// vertex ids).
+func radixSortV(a []V) {
+	buf := make([]V, len(a))
+	src, dst := a, buf
+	swapped := false
+	for shift := uint(0); shift < 32; shift += 8 {
+		var count [257]int
+		var orMask, andMask V
+		andMask = ^V(0)
+		for _, x := range src {
+			orMask |= x
+			andMask &= x
+		}
+		if (orMask>>shift)&0xff == (andMask>>shift)&0xff {
+			continue // this byte is identical everywhere
+		}
+		for _, x := range src {
+			count[(x>>shift)&0xff+1]++
+		}
+		for i := 1; i < 257; i++ {
+			count[i] += count[i-1]
+		}
+		for _, x := range src {
+			b := (x >> shift) & 0xff
+			dst[count[b]] = x
+			count[b]++
+		}
+		src, dst = dst, src
+		swapped = !swapped
+	}
+	if swapped {
+		copy(a, src)
+	}
+}
+
+// sortedUnique reports whether a is strictly increasing (sorted and
+// duplicate-free) — a fast pre-check the builder uses to skip work.
+func sortedUnique(a []V) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i-1] >= a[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortAdjacencyCheck verifies every adjacency list is sorted; used by
+// tests and by ReadBinary's strict mode.
+func SortAdjacencyCheck(g *CSR) bool {
+	for v := 0; v < g.NumVertices(); v++ {
+		adj := g.Neighbors(V(v))
+		if !sort.SliceIsSorted(adj, func(a, b int) bool { return adj[a] < adj[b] }) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,64 @@
+package graph
+
+// Streamer accumulates edges incrementally — from parsers, generators,
+// or network feeds — and materializes a CSR on demand. It exists so
+// producers don't need to pre-size edge slices; batches are chained
+// without copying until Build.
+type Streamer struct {
+	opt     BuildOptions
+	batches [][]Edge
+	current []Edge
+	total   int
+}
+
+// streamerBatchSize bounds per-batch reallocation cost.
+const streamerBatchSize = 1 << 16
+
+// NewStreamer returns an empty streamer that will build with opt.
+func NewStreamer(opt BuildOptions) *Streamer {
+	return &Streamer{opt: opt}
+}
+
+// Add appends one edge.
+func (s *Streamer) Add(u, v V) {
+	if len(s.current) == streamerBatchSize {
+		s.batches = append(s.batches, s.current)
+		s.current = make([]Edge, 0, streamerBatchSize)
+	}
+	if s.current == nil {
+		s.current = make([]Edge, 0, streamerBatchSize)
+	}
+	s.current = append(s.current, Edge{U: u, V: v})
+	s.total++
+}
+
+// AddBatch appends a pre-built batch without copying; the caller must
+// not modify it afterwards.
+func (s *Streamer) AddBatch(edges []Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	s.batches = append(s.batches, edges)
+	s.total += len(edges)
+}
+
+// Len returns the number of accumulated edges.
+func (s *Streamer) Len() int { return s.total }
+
+// Build materializes the CSR from everything accumulated. The streamer
+// remains usable; subsequent Adds extend the same edge set.
+func (s *Streamer) Build() *CSR {
+	all := make([]Edge, 0, s.total)
+	for _, b := range s.batches {
+		all = append(all, b...)
+	}
+	all = append(all, s.current...)
+	return Build(all, s.opt)
+}
+
+// Reset drops all accumulated edges.
+func (s *Streamer) Reset() {
+	s.batches = nil
+	s.current = nil
+	s.total = 0
+}

@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStreamerMatchesDirectBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 800
+	edges := make([]Edge, 200_000) // crosses several internal batches
+	for i := range edges {
+		edges[i] = Edge{V(rng.Intn(n)), V(rng.Intn(n))}
+	}
+	s := NewStreamer(BuildOptions{NumVertices: n})
+	for _, e := range edges[:150_000] {
+		s.Add(e.U, e.V)
+	}
+	s.AddBatch(edges[150_000:])
+	if s.Len() != len(edges) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(edges))
+	}
+	got := s.Build()
+	want := Build(edges, BuildOptions{NumVertices: n})
+	assertSameGraph(t, want, got)
+}
+
+func TestStreamerIncrementalBuilds(t *testing.T) {
+	s := NewStreamer(BuildOptions{NumVertices: 4})
+	s.Add(0, 1)
+	g1 := s.Build()
+	if g1.NumEdges() != 1 {
+		t.Fatalf("first build: %v", g1)
+	}
+	s.Add(2, 3)
+	g2 := s.Build()
+	if g2.NumEdges() != 2 {
+		t.Fatalf("second build must include earlier edges: %v", g2)
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Build().NumEdges() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestStreamerEmptyBatch(t *testing.T) {
+	s := NewStreamer(BuildOptions{NumVertices: 2})
+	s.AddBatch(nil)
+	if s.Len() != 0 {
+		t.Fatal("empty batch counted")
+	}
+}

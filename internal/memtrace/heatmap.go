@@ -1,0 +1,185 @@
+package memtrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Heatmap is the Fig 7 top panel: access counts binned over time
+// (columns) and π address space (rows).
+type Heatmap struct {
+	TimeBins int
+	AddrBins int
+	Counts   [][]int64 // [addrBin][timeBin]
+	Marks    []PhaseMark
+	TotalSeq uint32
+}
+
+// BuildHeatmap bins the trace into an addrBins×timeBins density grid.
+func (t *Trace) BuildHeatmap(addrBins, timeBins int) *Heatmap {
+	if addrBins < 1 {
+		addrBins = 1
+	}
+	if timeBins < 1 {
+		timeBins = 1
+	}
+	h := &Heatmap{
+		TimeBins: timeBins,
+		AddrBins: addrBins,
+		Counts:   make([][]int64, addrBins),
+		Marks:    t.Marks,
+		TotalSeq: uint32(len(t.Accesses)),
+	}
+	for i := range h.Counts {
+		h.Counts[i] = make([]int64, timeBins)
+	}
+	if len(t.Accesses) == 0 || t.N == 0 {
+		return h
+	}
+	for _, acc := range t.Accesses {
+		tb := int(uint64(acc.Seq) * uint64(timeBins) / uint64(len(t.Accesses)))
+		ab := int(uint64(acc.Index) * uint64(addrBins) / uint64(t.N))
+		h.Counts[ab][tb]++
+	}
+	return h
+}
+
+// Render draws the heat-map as ASCII art: density characters per cell,
+// phase letters along the top time axis (Fig 7's I/L/C/F/H section
+// labels), low addresses on the top row.
+func (h *Heatmap) Render() string {
+	var sb strings.Builder
+	// Phase ruler.
+	ruler := make([]byte, h.TimeBins)
+	for i := range ruler {
+		ruler[i] = ' '
+	}
+	for _, m := range h.Marks {
+		if h.TotalSeq == 0 {
+			break
+		}
+		pos := int(uint64(m.Seq) * uint64(h.TimeBins) / uint64(maxU32(h.TotalSeq, 1)))
+		if pos >= h.TimeBins {
+			pos = h.TimeBins - 1
+		}
+		ruler[pos] = m.Phase.String()[0]
+	}
+	sb.WriteString("phase: " + string(ruler) + "\n")
+
+	var max int64
+	for _, row := range h.Counts {
+		for _, c := range row {
+			if c > max {
+				max = c
+			}
+		}
+	}
+	shades := []byte(" .:-=+*#%@")
+	for ab, row := range h.Counts {
+		line := make([]byte, h.TimeBins)
+		for tb, c := range row {
+			idx := 0
+			if max > 0 && c > 0 {
+				idx = 1 + int(c*int64(len(shades)-2)/max)
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+			}
+			line[tb] = shades[idx]
+		}
+		fmt.Fprintf(&sb, "%5d|%s|\n", ab, line)
+	}
+	return sb.String()
+}
+
+// WorkerScatter is the Fig 7 bottom panel: for each (timeBin, addrBin)
+// cell, which worker most recently touched it (-1 if untouched).
+type WorkerScatter struct {
+	TimeBins int
+	AddrBins int
+	Owner    [][]int16 // [addrBin][timeBin], -1 = untouched
+}
+
+// BuildWorkerScatter bins the trace by last-touching worker.
+func (t *Trace) BuildWorkerScatter(addrBins, timeBins int) *WorkerScatter {
+	if addrBins < 1 {
+		addrBins = 1
+	}
+	if timeBins < 1 {
+		timeBins = 1
+	}
+	s := &WorkerScatter{TimeBins: timeBins, AddrBins: addrBins, Owner: make([][]int16, addrBins)}
+	for i := range s.Owner {
+		s.Owner[i] = make([]int16, timeBins)
+		for j := range s.Owner[i] {
+			s.Owner[i][j] = -1
+		}
+	}
+	if len(t.Accesses) == 0 || t.N == 0 {
+		return s
+	}
+	for _, acc := range t.Accesses {
+		tb := int(uint64(acc.Seq) * uint64(timeBins) / uint64(len(t.Accesses)))
+		ab := int(uint64(acc.Index) * uint64(addrBins) / uint64(t.N))
+		s.Owner[ab][tb] = int16(acc.Worker)
+	}
+	return s
+}
+
+// Render draws the scatter with one digit/letter per worker.
+func (s *WorkerScatter) Render() string {
+	var sb strings.Builder
+	const glyphs = "0123456789abcdefghijklmnopqrstuvwxyz"
+	for ab, row := range s.Owner {
+		line := make([]byte, s.TimeBins)
+		for tb, w := range row {
+			switch {
+			case w < 0:
+				line[tb] = ' '
+			case int(w) < len(glyphs):
+				line[tb] = glyphs[w]
+			default:
+				line[tb] = '+'
+			}
+		}
+		fmt.Fprintf(&sb, "%5d|%s|\n", ab, line)
+	}
+	return sb.String()
+}
+
+// PhaseSummary aggregates access counts per phase — the quantitative
+// side of Fig 7's qualitative picture (e.g. SV's hook phase touching π
+// far more than Afforest's sampled links).
+func (t *Trace) PhaseSummary() map[Phase]int64 {
+	out := make(map[Phase]int64)
+	for _, acc := range t.Accesses {
+		out[acc.Phase]++
+	}
+	return out
+}
+
+func maxU32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteTSV dumps the raw trace as tab-separated values (seq, index,
+// worker, phase, kind) with a phase-marks comment header, for external
+// plotting tools that want the full-resolution Fig 7 data rather than
+// the ASCII binning.
+func (t *Trace) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# trace: %d accesses, %d vertices, %d workers\n", len(t.Accesses), t.N, t.Workers)
+	for _, m := range t.Marks {
+		fmt.Fprintf(bw, "# phase %s at seq %d\n", m.Phase, m.Seq)
+	}
+	fmt.Fprintln(bw, "seq\tindex\tworker\tphase\tkind")
+	for _, a := range t.Accesses {
+		fmt.Fprintf(bw, "%d\t%d\t%d\t%s\t%d\n", a.Seq, a.Index, a.Worker, a.Phase, a.Kind)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,183 @@
+// Package memtrace instruments the π parent array to record every
+// access — index, worker, algorithm phase, and global sequence — and
+// renders the Fig 7 artifacts: an address×time heat-map of access
+// density and a per-worker scatter of who touched what when.
+//
+// The paper built these plots from binary-instrumentation logs of the
+// C++ implementation; here the instrumented array implements the same
+// load/CAS/store operations the algorithms use, so the recorded pattern
+// is the real pattern. Traced runs are meant for small graphs (the
+// paper uses |V|=2^12, |E|=2^19) where full logs fit in memory.
+package memtrace
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"afforest/internal/graph"
+)
+
+// Kind classifies an access to π.
+type Kind uint8
+
+// Access kinds.
+const (
+	Read Kind = iota
+	Write
+	CASOp
+)
+
+// Phase tags the algorithm stage an access belongs to, using the
+// paper's Fig 7 legend letters.
+type Phase uint8
+
+// Phases (I=Initialization, L=Link, C=Compress, F=Find largest
+// component, H=Hook — the SV hook/shortcut cycle reuses L/C letters in
+// the paper; we give hook its own tag).
+const (
+	PhaseInit Phase = iota
+	PhaseLink
+	PhaseCompress
+	PhaseFind
+	PhaseHook
+)
+
+// String returns the Fig 7 legend letter.
+func (p Phase) String() string {
+	switch p {
+	case PhaseInit:
+		return "I"
+	case PhaseLink:
+		return "L"
+	case PhaseCompress:
+		return "C"
+	case PhaseFind:
+		return "F"
+	case PhaseHook:
+		return "H"
+	}
+	return "?"
+}
+
+// Access is one recorded touch of π.
+type Access struct {
+	Seq    uint32 // global order (atomic counter)
+	Index  uint32 // π index touched
+	Worker uint16
+	Phase  Phase
+	Kind   Kind
+}
+
+// Array is a traced π. All operations are safe for concurrent use; the
+// global sequence counter serializes timestamps (acceptable at trace
+// scale and necessary for a meaningful time axis).
+type Array struct {
+	data    []uint32
+	seq     atomic.Uint32
+	phase   atomic.Uint32
+	logs    [][]Access // one slice per worker, no locking
+	marks   []PhaseMark
+	workers int
+}
+
+// PhaseMark records where on the time axis a phase began.
+type PhaseMark struct {
+	Seq   uint32
+	Phase Phase
+}
+
+// NewArray returns a traced π over n vertices for up to `workers`
+// concurrent workers, initialized self-pointing; the initialization
+// stores are recorded under PhaseInit by worker 0.
+func NewArray(n, workers int) *Array {
+	if workers < 1 {
+		workers = 1
+	}
+	a := &Array{
+		data:    make([]uint32, n),
+		logs:    make([][]Access, workers),
+		workers: workers,
+	}
+	a.marks = append(a.marks, PhaseMark{Seq: 0, Phase: PhaseInit})
+	for i := range a.data {
+		a.data[i] = uint32(i)
+		a.record(0, uint32(i), Write)
+	}
+	return a
+}
+
+// SetPhase marks the start of a new algorithm phase on the time axis.
+func (a *Array) SetPhase(p Phase) {
+	a.phase.Store(uint32(p))
+	a.marks = append(a.marks, PhaseMark{Seq: a.seq.Load(), Phase: p})
+}
+
+func (a *Array) record(worker int, index uint32, kind Kind) {
+	a.logs[worker] = append(a.logs[worker], Access{
+		Seq:    a.seq.Add(1) - 1,
+		Index:  index,
+		Worker: uint16(worker),
+		Phase:  Phase(a.phase.Load()),
+		Kind:   kind,
+	})
+}
+
+// Len returns the number of π entries.
+func (a *Array) Len() int { return len(a.data) }
+
+// Get atomically loads π(v), recording the read.
+func (a *Array) Get(worker int, v graph.V) graph.V {
+	a.record(worker, v, Read)
+	return atomic.LoadUint32(&a.data[v])
+}
+
+// Set atomically stores π(v) ← x, recording the write.
+func (a *Array) Set(worker int, v, x graph.V) {
+	a.record(worker, v, Write)
+	atomic.StoreUint32(&a.data[v], x)
+}
+
+// CAS attempts π(v): old → new, recording the operation.
+func (a *Array) CAS(worker int, v, old, new graph.V) bool {
+	a.record(worker, v, CASOp)
+	return atomic.CompareAndSwapUint32(&a.data[v], old, new)
+}
+
+// Snapshot returns a copy of the current π values.
+func (a *Array) Snapshot() []graph.V {
+	out := make([]graph.V, len(a.data))
+	copy(out, a.data)
+	return out
+}
+
+// Trace is the consolidated result of a traced run.
+type Trace struct {
+	Accesses []Access
+	Marks    []PhaseMark
+	N        int // π length
+	Workers  int
+}
+
+// Finish merges the per-worker logs into a single time-ordered trace.
+func (a *Array) Finish() *Trace {
+	var total int
+	for _, l := range a.logs {
+		total += len(l)
+	}
+	all := make([]Access, 0, total)
+	for _, l := range a.logs {
+		all = append(all, l...)
+	}
+	// Counting-sortable by Seq: Seq values are unique in [0, total).
+	ordered := make([]Access, total)
+	for _, acc := range all {
+		ordered[acc.Seq] = acc
+	}
+	return &Trace{Accesses: ordered, Marks: a.marks, N: len(a.data), Workers: a.workers}
+}
+
+// String summarizes the trace.
+func (t *Trace) String() string {
+	return fmt.Sprintf("Trace{%d accesses, %d vertices, %d workers, %d phases}",
+		len(t.Accesses), t.N, t.Workers, len(t.Marks))
+}

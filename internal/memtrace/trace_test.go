@@ -1,0 +1,218 @@
+package memtrace
+
+import (
+	"strings"
+	"testing"
+
+	"afforest/internal/baselines"
+	"afforest/internal/core"
+	"afforest/internal/gen"
+	"afforest/internal/graph"
+)
+
+func TestArrayRecordsInit(t *testing.T) {
+	a := NewArray(10, 2)
+	tr := a.Finish()
+	if len(tr.Accesses) != 10 {
+		t.Fatalf("init accesses = %d, want 10", len(tr.Accesses))
+	}
+	for i, acc := range tr.Accesses {
+		if acc.Phase != PhaseInit || acc.Kind != Write || int(acc.Index) != i {
+			t.Fatalf("access %d: %+v", i, acc)
+		}
+	}
+}
+
+func TestArrayOpsRecorded(t *testing.T) {
+	a := NewArray(4, 1)
+	a.SetPhase(PhaseLink)
+	_ = a.Get(0, 2)
+	a.Set(0, 3, 1)
+	if !a.CAS(0, 2, 2, 0) {
+		t.Fatal("CAS on unchanged slot must succeed")
+	}
+	if a.CAS(0, 2, 2, 1) {
+		t.Fatal("CAS with stale old value must fail")
+	}
+	tr := a.Finish()
+	got := tr.Accesses[4:] // skip init
+	wantKinds := []Kind{Read, Write, CASOp, CASOp}
+	for i, acc := range got {
+		if acc.Kind != wantKinds[i] || acc.Phase != PhaseLink {
+			t.Fatalf("access %d: %+v", i, acc)
+		}
+	}
+	snap := a.Snapshot()
+	if snap[3] != 1 || snap[2] != 0 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestFinishOrdersBySeq(t *testing.T) {
+	g := gen.URandDegree(500, 8, 3)
+	tr, _ := TracedAfforest(g, 2, true, 4)
+	for i, acc := range tr.Accesses {
+		if int(acc.Seq) != i {
+			t.Fatalf("access %d has seq %d — Finish must order by sequence", i, acc.Seq)
+		}
+	}
+}
+
+func TestTracedAfforestMatchesCore(t *testing.T) {
+	g := gen.URandDegree(2000, 12, 5)
+	_, labels := TracedAfforest(g, 2, true, 4)
+	want := core.Run(g, core.DefaultOptions())
+	// Both canonicalize to minimum ids after final compress.
+	for v := range labels {
+		if labels[v] != want.Get(graph.V(v)) {
+			t.Fatalf("traced Afforest diverges at %d: %d vs %d", v, labels[v], want.Get(graph.V(v)))
+		}
+	}
+}
+
+func TestTracedSVMatchesBaseline(t *testing.T) {
+	g := gen.URandDegree(1500, 10, 6)
+	_, labels := TracedSV(g, 4)
+	want := baselines.SV(g, 4)
+	for v := range labels {
+		if labels[v] != want[v] {
+			t.Fatalf("traced SV diverges at %d", v)
+		}
+	}
+}
+
+func TestPhaseMarksProgression(t *testing.T) {
+	g := gen.URandDegree(800, 8, 7)
+	tr, _ := TracedAfforest(g, 2, true, 2)
+	// Expect: Init, (Link, Compress) x2, Find, Link, Compress.
+	want := []Phase{PhaseInit, PhaseLink, PhaseCompress, PhaseLink, PhaseCompress, PhaseFind, PhaseLink, PhaseCompress}
+	if len(tr.Marks) != len(want) {
+		t.Fatalf("marks = %d, want %d (%v)", len(tr.Marks), len(want), tr.Marks)
+	}
+	for i, m := range tr.Marks {
+		if m.Phase != want[i] {
+			t.Fatalf("mark %d = %v, want %v", i, m.Phase, want[i])
+		}
+	}
+	for i := 1; i < len(tr.Marks); i++ {
+		if tr.Marks[i].Seq < tr.Marks[i-1].Seq {
+			t.Fatal("marks not monotone in time")
+		}
+	}
+}
+
+func TestSVTouchesParentMoreThanAfforest(t *testing.T) {
+	// The quantitative heart of Fig 7: SV processes all edges every
+	// iteration, so its π traffic far exceeds Afforest's.
+	g := gen.URandDegree(1<<10, 16, 9)
+	trSV, _ := TracedSV(g, 4)
+	trAff, _ := TracedAfforest(g, 2, true, 4)
+	if len(trSV.Accesses) < 2*len(trAff.Accesses) {
+		t.Fatalf("SV accesses = %d, Afforest = %d — expected SV ≫ Afforest",
+			len(trSV.Accesses), len(trAff.Accesses))
+	}
+}
+
+func TestSkipReducesLinkAccesses(t *testing.T) {
+	// Fig 7b vs 7c: component skipping removes most of the final link
+	// phase's traffic on a giant-component graph.
+	g := gen.URandDegree(1<<10, 16, 9)
+	trNoSkip, _ := TracedAfforest(g, 2, false, 4)
+	trSkip, _ := TracedAfforest(g, 2, true, 4)
+	if len(trSkip.Accesses) >= len(trNoSkip.Accesses) {
+		t.Fatalf("skip accesses = %d, no-skip = %d — skipping must reduce traffic",
+			len(trSkip.Accesses), len(trNoSkip.Accesses))
+	}
+	if sum := trSkip.PhaseSummary(); sum[PhaseFind] == 0 {
+		t.Fatal("find-largest phase recorded no accesses")
+	}
+}
+
+func TestHeatmapBinning(t *testing.T) {
+	g := gen.URandDegree(512, 8, 2)
+	tr, _ := TracedAfforest(g, 2, true, 2)
+	h := tr.BuildHeatmap(16, 32)
+	var total int64
+	for _, row := range h.Counts {
+		if len(row) != 32 {
+			t.Fatalf("time bins = %d", len(row))
+		}
+		for _, c := range row {
+			total += c
+		}
+	}
+	if total != int64(len(tr.Accesses)) {
+		t.Fatalf("heatmap holds %d accesses, trace has %d", total, len(tr.Accesses))
+	}
+	out := h.Render()
+	if !strings.Contains(out, "phase:") || len(strings.Split(out, "\n")) < 17 {
+		t.Fatalf("render too small:\n%s", out)
+	}
+}
+
+func TestWorkerScatter(t *testing.T) {
+	g := gen.URandDegree(512, 8, 2)
+	tr, _ := TracedAfforest(g, 2, true, 3)
+	s := tr.BuildWorkerScatter(8, 16)
+	seen := map[int16]bool{}
+	for _, row := range s.Owner {
+		for _, w := range row {
+			if w >= 0 {
+				seen[w] = true
+			}
+			if int(w) >= 3 {
+				t.Fatalf("worker id %d out of range", w)
+			}
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("scatter empty")
+	}
+	if out := s.Render(); len(out) == 0 {
+		t.Fatal("scatter render empty")
+	}
+}
+
+func TestEmptyTraceArtifacts(t *testing.T) {
+	a := NewArray(0, 1)
+	tr := a.Finish()
+	if h := tr.BuildHeatmap(4, 4).Render(); h == "" {
+		t.Fatal("empty heatmap must still render")
+	}
+	if s := tr.BuildWorkerScatter(4, 4); s.Owner[0][0] != -1 {
+		t.Fatal("empty scatter must be untouched")
+	}
+}
+
+func TestPhaseStringLetters(t *testing.T) {
+	want := map[Phase]string{PhaseInit: "I", PhaseLink: "L", PhaseCompress: "C", PhaseFind: "F", PhaseHook: "H"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("%v.String() = %q", p, p.String())
+		}
+	}
+	if Phase(99).String() != "?" {
+		t.Fatal("unknown phase letter")
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	g := gen.URandDegree(256, 6, 1)
+	tr, _ := TracedAfforest(g, 2, true, 2)
+	var sb strings.Builder
+	if err := tr.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "seq\tindex\tworker\tphase\tkind") {
+		t.Fatal("missing TSV header")
+	}
+	lines := strings.Count(out, "\n")
+	// header comments + column header + one line per access
+	if lines < len(tr.Accesses) {
+		t.Fatalf("TSV has %d lines for %d accesses", lines, len(tr.Accesses))
+	}
+	if !strings.Contains(out, "# phase L at seq") {
+		t.Fatal("missing phase marks")
+	}
+}

@@ -1,0 +1,131 @@
+// Package validate checks connected-components labelings: partition
+// equivalence between two labelings, edge consistency against the
+// graph, and component censuses. The benchmark harness validates every
+// algorithm's output against the serial oracle before trusting its
+// timing.
+package validate
+
+import (
+	"fmt"
+	"sort"
+
+	"afforest/internal/graph"
+)
+
+// EdgeConsistent verifies that every edge of g joins equally labeled
+// endpoints and that differently labeled vertex pairs are never joined
+// by an edge; it returns an error naming the first offending edge.
+// This is a necessary condition for a correct CC labeling (labels may
+// still be too coarse — see SamePartition for the full check).
+func EdgeConsistent(g *graph.CSR, labels []graph.V) error {
+	if len(labels) != g.NumVertices() {
+		return fmt.Errorf("validate: %d labels for %d vertices", len(labels), g.NumVertices())
+	}
+	for u := graph.V(0); int(u) < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if labels[u] != labels[v] {
+				return fmt.Errorf("validate: edge %d-%d crosses labels %d and %d", u, v, labels[u], labels[v])
+			}
+		}
+	}
+	return nil
+}
+
+// SamePartition reports whether two labelings induce the same partition
+// of the vertex set (labels themselves may differ by any bijection).
+func SamePartition(a, b []graph.V) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("validate: length mismatch %d vs %d", len(a), len(b))
+	}
+	fwd := make(map[graph.V]graph.V)
+	rev := make(map[graph.V]graph.V)
+	for v := range a {
+		if mapped, ok := fwd[a[v]]; ok {
+			if mapped != b[v] {
+				return fmt.Errorf("validate: vertex %d: label %d maps to both %d and %d", v, a[v], mapped, b[v])
+			}
+		} else {
+			fwd[a[v]] = b[v]
+		}
+		if mapped, ok := rev[b[v]]; ok {
+			if mapped != a[v] {
+				return fmt.Errorf("validate: vertex %d: label %d (b) maps to both %d and %d", v, b[v], mapped, a[v])
+			}
+		} else {
+			rev[b[v]] = a[v]
+		}
+	}
+	return nil
+}
+
+// Labeling verifies labels against g completely: edge consistency plus
+// partition equivalence with the sequential BFS oracle.
+func Labeling(g *graph.CSR, labels []graph.V) error {
+	if err := EdgeConsistent(g, labels); err != nil {
+		return err
+	}
+	oracle, _ := graph.SequentialCC(g)
+	ol := make([]graph.V, len(oracle))
+	for v, l := range oracle {
+		ol[v] = graph.V(l)
+	}
+	return SamePartition(ol, labels)
+}
+
+// Census summarizes a labeling: component count and sizes in
+// descending order.
+type Census struct {
+	Components int
+	Sizes      []int // descending
+}
+
+// MaxFraction returns |c_max| / |V| (0 for an empty labeling).
+func (c Census) MaxFraction(n int) float64 {
+	if n == 0 || len(c.Sizes) == 0 {
+		return 0
+	}
+	return float64(c.Sizes[0]) / float64(n)
+}
+
+// ComputeCensus counts components and their sizes from labels.
+func ComputeCensus(labels []graph.V) Census {
+	counts := make(map[graph.V]int)
+	for _, l := range labels {
+		counts[l]++
+	}
+	sizes := make([]int, 0, len(counts))
+	for _, c := range counts {
+		sizes = append(sizes, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return Census{Components: len(counts), Sizes: sizes}
+}
+
+// SpanningForest verifies that forest is a spanning forest of g: every
+// edge exists in g, the edge count is exactly |V| − C, the forest is
+// acyclic, and it preserves g's connectivity partition.
+func SpanningForest(g *graph.CSR, forest []graph.Edge) error {
+	for _, e := range forest {
+		if !g.HasEdge(e.U, e.V) {
+			return fmt.Errorf("validate: forest edge %d-%d not in graph", e.U, e.V)
+		}
+	}
+	_, sizes := graph.SequentialCC(g)
+	want := g.NumVertices() - len(sizes)
+	if len(forest) != want {
+		return fmt.Errorf("validate: forest has %d edges, want |V|-C = %d", len(forest), want)
+	}
+	fg := graph.Build(forest, graph.BuildOptions{NumVertices: g.NumVertices()})
+	_, fsizes := graph.SequentialCC(fg)
+	// Acyclic: |E| = |V| - C(forest).
+	if int(fg.NumEdges()) != g.NumVertices()-len(fsizes) {
+		return fmt.Errorf("validate: forest contains a cycle (|E|=%d, |V|-C=%d)",
+			fg.NumEdges(), g.NumVertices()-len(fsizes))
+	}
+	// Connectivity preserved: component counts match (the forest is a
+	// subgraph, so it can only be finer; equal counts force equality).
+	if len(fsizes) != len(sizes) {
+		return fmt.Errorf("validate: forest has %d components, graph has %d", len(fsizes), len(sizes))
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package validate
+
+import (
+	"testing"
+
+	"afforest/internal/gen"
+	"afforest/internal/graph"
+)
+
+func TestEdgeConsistent(t *testing.T) {
+	g := graph.Build([]graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}, graph.BuildOptions{})
+	good := []graph.V{0, 0, 2, 2}
+	if err := EdgeConsistent(g, good); err != nil {
+		t.Fatalf("good labeling rejected: %v", err)
+	}
+	bad := []graph.V{0, 1, 2, 2}
+	if err := EdgeConsistent(g, bad); err == nil {
+		t.Fatal("split edge accepted")
+	}
+	if err := EdgeConsistent(g, []graph.V{0}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+}
+
+func TestSamePartition(t *testing.T) {
+	if err := SamePartition([]graph.V{0, 0, 5}, []graph.V{9, 9, 1}); err != nil {
+		t.Fatalf("bijective relabeling rejected: %v", err)
+	}
+	// a splits what b merges.
+	if err := SamePartition([]graph.V{0, 1}, []graph.V{7, 7}); err == nil {
+		t.Fatal("coarser partition accepted")
+	}
+	// b splits what a merges.
+	if err := SamePartition([]graph.V{3, 3}, []graph.V{0, 1}); err == nil {
+		t.Fatal("finer partition accepted")
+	}
+	if err := SamePartition([]graph.V{0}, []graph.V{0, 1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestLabelingFullCheck(t *testing.T) {
+	g := gen.URandComponents(1000, 8, 0.5, 3)
+	oracle, _ := graph.SequentialCC(g)
+	labels := make([]graph.V, len(oracle))
+	for v, l := range oracle {
+		labels[v] = graph.V(l) + 100 // arbitrary bijection
+	}
+	if err := Labeling(g, labels); err != nil {
+		t.Fatalf("correct labeling rejected: %v", err)
+	}
+	// Merge two components illegally: give everything one label. Edge
+	// consistency still holds, so only the partition check catches it.
+	allOne := make([]graph.V, len(labels))
+	if err := Labeling(g, allOne); err == nil {
+		t.Fatal("over-merged labeling accepted")
+	}
+}
+
+func TestComputeCensus(t *testing.T) {
+	c := ComputeCensus([]graph.V{5, 5, 5, 2, 2, 9})
+	if c.Components != 3 {
+		t.Fatalf("components = %d", c.Components)
+	}
+	if c.Sizes[0] != 3 || c.Sizes[1] != 2 || c.Sizes[2] != 1 {
+		t.Fatalf("sizes = %v (must be descending)", c.Sizes)
+	}
+	if f := c.MaxFraction(6); f != 0.5 {
+		t.Fatalf("MaxFraction = %v", f)
+	}
+	empty := ComputeCensus(nil)
+	if empty.Components != 0 || empty.MaxFraction(0) != 0 {
+		t.Fatalf("empty census: %+v", empty)
+	}
+}
+
+func TestSpanningForestValidator(t *testing.T) {
+	g := gen.URandComponents(1500, 8, 0.5, 7)
+	// A correct forest from the core extraction must validate. (The
+	// validate package must not import core — build the forest the slow
+	// way with a reference DSU.)
+	parent := make([]graph.V, g.NumVertices())
+	for i := range parent {
+		parent[i] = graph.V(i)
+	}
+	var find func(graph.V) graph.V
+	find = func(x graph.V) graph.V {
+		for parent[x] != x {
+			x = parent[x]
+		}
+		return x
+	}
+	var forest []graph.Edge
+	for _, e := range g.Edges() {
+		ra, rb := find(e.U), find(e.V)
+		if ra != rb {
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+			forest = append(forest, e)
+		}
+	}
+	if err := SpanningForest(g, forest); err != nil {
+		t.Fatalf("correct forest rejected: %v", err)
+	}
+	// Too few edges.
+	if err := SpanningForest(g, forest[:len(forest)-1]); err == nil {
+		t.Fatal("undersized forest accepted")
+	}
+	// An edge not in the graph.
+	bad := append(append([]graph.Edge{}, forest[:len(forest)-1]...), graph.Edge{U: 0, V: 0})
+	if err := SpanningForest(g, bad); err == nil {
+		t.Fatal("phantom edge accepted")
+	}
+	// Right count but contains a cycle (duplicate a tree edge, drop one).
+	cyc := append(append([]graph.Edge{}, forest[:len(forest)-1]...), forest[0])
+	if err := SpanningForest(g, cyc); err == nil {
+		t.Fatal("cyclic forest accepted")
+	}
+}
