@@ -90,6 +90,13 @@ func benchAlgorithmOn(b *testing.B, build func() *graph.CSR, run func(*graph.CSR
 	for i := 0; i < b.N; i++ {
 		run(g, 0)
 	}
+	b.StopTimer()
+	// ns/edge is the unit the trajectory record (BENCH_afforest.json)
+	// tracks; reporting it here makes hot-loop regressions visible
+	// directly in `go test -bench` output alongside allocs/op.
+	if edges := g.NumEdges(); edges > 0 && b.N > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(edges), "ns/edge")
+	}
 }
 
 func afforestRun(g *graph.CSR, p int) []graph.V {
@@ -112,12 +119,16 @@ func opt2labels(g *graph.CSR, opt core.Options) []graph.V {
 const microScale = 16
 
 func suiteGraph(name string) func() *graph.CSR {
+	return suiteGraphAt(name, microScale)
+}
+
+func suiteGraphAt(name string, scale int) func() *graph.CSR {
 	return func() *graph.CSR {
 		sg, err := gen.ByName(name)
 		if err != nil {
 			panic(err)
 		}
-		return sg.Build(microScale, 42)
+		return sg.Build(scale, 42)
 	}
 }
 
@@ -130,6 +141,12 @@ func BenchmarkAfforestOSMEur(b *testing.B)  { benchAlgorithmOn(b, suiteGraph("os
 
 func BenchmarkAfforestNoSkipURand(b *testing.B) {
 	benchAlgorithmOn(b, suiteGraph("urand"), afforestNoSkipRun)
+}
+
+// BenchmarkAfforestKron18 is the perf-trajectory anchor: same graph and
+// scale as the afforest/kron cell of BENCH_afforest.json.
+func BenchmarkAfforestKron18(b *testing.B) {
+	benchAlgorithmOn(b, suiteGraphAt("kron", 18), afforestRun)
 }
 
 func BenchmarkSVRoad(b *testing.B)    { benchAlgorithmOn(b, suiteGraph("road"), baselines.SV) }

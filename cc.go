@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"afforest/internal/baselines"
+	"afforest/internal/concurrent"
 	"afforest/internal/core"
 	"afforest/internal/graph"
 )
@@ -44,6 +45,11 @@ type Options struct {
 	NeighborRounds int
 	// Parallelism caps worker goroutines (0 = GOMAXPROCS).
 	Parallelism int
+	// EdgeGrain is the number of arcs per dynamically claimed chunk in
+	// Afforest's edge-balanced final phase (0 = default). Smaller
+	// grains balance extreme degree skew at the cost of scheduling
+	// overhead. Ignored by the other algorithms.
+	EdgeGrain int
 	// Seed drives Afforest's probabilistic largest-component search.
 	Seed uint64
 }
@@ -68,7 +74,7 @@ func ConnectedComponents(g *Graph, opt Options) *Result {
 		// conditions; fail loudly.
 		panic(err)
 	}
-	return newResult(labels)
+	return newResult(labels, opt.Parallelism)
 }
 
 // ConnectedComponentsChecked is ConnectedComponents returning an error
@@ -78,7 +84,7 @@ func ConnectedComponentsChecked(g *Graph, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newResult(labels), nil
+	return newResult(labels, opt.Parallelism), nil
 }
 
 func runAlgorithm(g *Graph, opt Options) ([]V, error) {
@@ -92,6 +98,7 @@ func runAlgorithm(g *Graph, opt Options) ([]V, error) {
 		copt.NeighborRounds = opt.NeighborRounds
 		copt.SkipLargest = algo == AlgoAfforest
 		copt.Parallelism = opt.Parallelism
+		copt.EdgeGrain = opt.EdgeGrain
 		copt.Seed = opt.Seed
 		return core.Run(g.csr, copt).Labels(), nil
 	case AlgoSV:
@@ -112,15 +119,65 @@ func runAlgorithm(g *Graph, opt Options) ([]V, error) {
 	return nil, fmt.Errorf("afforest: unknown algorithm %q (have %v)", algo, Algorithms())
 }
 
-func newResult(labels []V) *Result {
-	counts := make(map[V]int)
-	for _, l := range labels {
-		counts[l]++
+// newResult builds the component census from a labeling. Every
+// algorithm in this module labels components by a vertex id inside the
+// component (the minimum, per the min-label invariant), so labels are
+// always valid indices < |V| and a flat count array replaces the
+// map[V]int a general labeling would need. The count pass runs over
+// per-worker arrays (no atomics on the hot counts), which are then
+// merged by a parallel reduction over the label space.
+func newResult(labels []V, parallelism int) *Result {
+	n := len(labels)
+	if n == 0 {
+		return &Result{labels: labels, index: map[V]int{}}
 	}
-	census := make([]componentInfo, 0, len(counts))
-	for l, c := range counts {
-		census = append(census, componentInfo{Label: l, Size: c})
+	workers := concurrent.Procs(parallelism)
+	perWorker := make([][]int32, workers)
+	concurrent.ForRange(n, parallelism, 4096, func(lo, hi, w int) {
+		counts := perWorker[w]
+		if counts == nil {
+			// Allocated lazily so unused worker slots cost nothing.
+			counts = make([]int32, n)
+			perWorker[w] = counts
+		}
+		for _, l := range labels[lo:hi] {
+			counts[l]++
+		}
+	})
+	// Reduce across workers and collect the nonzero labels, both
+	// parallel over disjoint ranges of the label space, with
+	// perWorker[0] as the accumulator.
+	total := perWorker[0]
+	if total == nil {
+		// Worker 0 (the caller) claimed no chunk — possible when the
+		// pool workers drain a small domain first.
+		total = make([]int32, n)
+		perWorker[0] = total
 	}
+	parts := make([][]componentInfo, workers)
+	concurrent.ForRange(n, parallelism, 4096, func(lo, hi, w int) {
+		for _, counts := range perWorker[1:] {
+			if counts == nil {
+				continue
+			}
+			for i := lo; i < hi; i++ {
+				total[i] += counts[i]
+			}
+		}
+		local := parts[w]
+		for i := lo; i < hi; i++ {
+			if total[i] > 0 {
+				local = append(local, componentInfo{Label: V(i), Size: int(total[i])})
+			}
+		}
+		parts[w] = local
+	})
+	var census []componentInfo
+	for _, part := range parts {
+		census = append(census, part...)
+	}
+	// Labels are unique, so (size desc, label asc) is a total order and
+	// the census is deterministic regardless of chunk scheduling.
 	sort.Slice(census, func(i, j int) bool {
 		if census[i].Size != census[j].Size {
 			return census[i].Size > census[j].Size

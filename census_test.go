@@ -1,0 +1,101 @@
+package afforest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// referenceCensus is the sequential map-based census the parallel
+// newResult replaced; the equivalence test below pins the two against
+// each other.
+func referenceCensus(labels []V) []componentInfo {
+	counts := make(map[V]int)
+	for _, l := range labels {
+		counts[l]++
+	}
+	census := make([]componentInfo, 0, len(counts))
+	for l, c := range counts {
+		census = append(census, componentInfo{Label: l, Size: c})
+	}
+	return census
+}
+
+func TestParallelCensusMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(50_000) + 1
+		// Synthesize a valid labeling: component representatives are a
+		// random subset of vertex ids, each vertex labeled by one of them
+		// at or below its own id (the min-label invariant).
+		labels := make([]V, n)
+		for v := range labels {
+			labels[v] = V(rng.Intn(v + 1))
+			if rng.Intn(3) > 0 && v > 0 {
+				labels[v] = labels[rng.Intn(v)] // densify: reuse an existing label
+			}
+		}
+		// Every label must itself be labeled consistently for a real
+		// component structure; for the census only the multiset matters,
+		// so an arbitrary labels-< n array is the stronger test.
+		for _, par := range []int{0, 1, 3} {
+			r := newResult(labels, par)
+			want := referenceCensus(labels)
+			if r.NumComponents() != len(want) {
+				t.Fatalf("trial=%d par=%d: %d components, want %d", trial, par, r.NumComponents(), len(want))
+			}
+			wantBySize := make(map[V]int, len(want))
+			total := 0
+			for _, c := range want {
+				wantBySize[c.Label] = c.Size
+				total += c.Size
+			}
+			if total != n {
+				t.Fatalf("reference census sizes sum to %d, want %d", total, n)
+			}
+			for _, c := range r.census {
+				if wantBySize[c.Label] != c.Size {
+					t.Fatalf("trial=%d par=%d: label %d size %d, want %d", trial, par, c.Label, c.Size, wantBySize[c.Label])
+				}
+			}
+			// Ordering invariant: descending size, ascending label.
+			for i := 1; i < len(r.census); i++ {
+				a, b := r.census[i-1], r.census[i]
+				if a.Size < b.Size || (a.Size == b.Size && a.Label >= b.Label) {
+					t.Fatalf("census out of order at %d: %+v then %+v", i, a, b)
+				}
+			}
+			// Index must invert the census.
+			for i, c := range r.census {
+				if r.index[c.Label] != i {
+					t.Fatalf("index[%d] = %d, want %d", c.Label, r.index[c.Label], i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelCensusEmpty(t *testing.T) {
+	r := newResult(nil, 0)
+	if r.NumComponents() != 0 {
+		t.Fatalf("empty labeling: %d components", r.NumComponents())
+	}
+	if _, _, ok := r.LargestComponent(); ok {
+		t.Fatal("empty labeling reported a largest component")
+	}
+}
+
+func BenchmarkCensus1M(b *testing.B) {
+	const n = 1 << 20
+	labels := make([]V, n)
+	rng := rand.New(rand.NewSource(3))
+	for v := range labels {
+		if rng.Intn(100) == 0 {
+			labels[v] = V(rng.Intn(1000))
+		} // else 0: one giant component plus small ones
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		newResult(labels, 0)
+	}
+}

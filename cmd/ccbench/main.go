@@ -24,7 +24,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table2 | table3 | fig6a | fig6b | fig6c | fig7 | fig8a | fig8b | fig8c | ablation-rounds | ablation-sample | ablation-relabel | ablation-compress | ext-dist | ext-gpu | all")
+		exp      = flag.String("exp", "all", "experiment: table2 | table3 | fig6a | fig6b | fig6c | fig7 | fig8a | fig8b | fig8c | ablation-rounds | ablation-sample | ablation-relabel | ablation-compress | ext-dist | ext-gpu | bench | all")
+		benchOut = flag.String("benchout", "BENCH_afforest.json", "output path for the machine-readable perf trajectory written by -exp bench")
 		scale    = flag.Int("scale", 0, "graph scale, ≈2^scale vertices (0 = default 16)")
 		runs     = flag.Int("runs", 0, "timed repetitions per configuration (0 = default 5; paper uses 16)")
 		seed     = flag.Uint64("seed", 42, "generator seed")
@@ -66,10 +67,31 @@ func main() {
 		{"ext-gpu", func() { emit(bench.ExtGPU(cfg)) }},
 	}
 
+	// `bench` is the perf-trajectory mode: it emits BENCH_afforest.json
+	// (ns/edge for afforest, sv, lp on urand/kron) for the repository's
+	// before/after history. It is deliberately excluded from `all` so that
+	// figure regeneration never silently overwrites the committed record.
+	runBench := func() {
+		rep := bench.Trajectory(cfg)
+		emit(rep.Table())
+		if err := rep.WriteJSON(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: writing %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[trajectory written to %s]\n", *benchOut)
+	}
+
 	selected := strings.Split(*exp, ",")
 	ran := 0
 	for _, want := range selected {
 		want = strings.TrimSpace(want)
+		if want == "bench" {
+			start := time.Now()
+			runBench()
+			fmt.Fprintf(os.Stderr, "[bench done in %v]\n", time.Since(start).Round(time.Millisecond))
+			ran++
+			continue
+		}
 		for _, e := range experiments {
 			if want == "all" || want == e.name {
 				start := time.Now()

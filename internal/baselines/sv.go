@@ -37,6 +37,11 @@ func SVInstrumented(g *graph.CSR, parallelism int) ([]graph.V, int) {
 	for v := range pi {
 		pi[v] = uint32(v)
 	}
+	var offsets []int64
+	var targets []graph.V
+	if n > 0 {
+		offsets, targets = g.Adjacency(0, n)
+	}
 	iterations := 0
 	var change atomic.Bool
 	change.Store(true)
@@ -47,22 +52,32 @@ func SVInstrumented(g *graph.CSR, parallelism int) ([]graph.V, int) {
 		// differ, hook the higher parent under the lower — but only if
 		// the higher parent is currently a root. Competing hooks race;
 		// any winner preserves π(x) ≤ x, so no cycles form and at
-		// least one competitor succeeds per iteration.
-		concurrent.ForGrain(n, parallelism, 512, func(i int) {
-			u := graph.V(i)
-			for _, v := range g.Neighbors(u) {
-				pu := atomic.LoadUint32(&pi[u])
-				pv := atomic.LoadUint32(&pi[v])
-				if pu == pv {
-					continue
+		// least one competitor succeeds per iteration. Since SV
+		// re-traverses the full edge set every iteration, the hook loop
+		// runs arc-balanced over the raw CSR slices.
+		concurrent.ForEdgeRange(offsets, parallelism, 0, func(vlo, vhi int, alo, ahi int64, _ int) {
+			for u := vlo; u < vhi; u++ {
+				lo, hi := offsets[u], offsets[u+1]
+				if lo < alo {
+					lo = alo
 				}
-				high, low := pu, pv
-				if high < low {
-					high, low = low, high
+				if hi > ahi {
+					hi = ahi
 				}
-				if atomic.LoadUint32(&pi[high]) == high {
-					atomic.StoreUint32(&pi[high], low)
-					change.Store(true)
+				for _, v := range targets[lo:hi] {
+					pu := atomic.LoadUint32(&pi[u])
+					pv := atomic.LoadUint32(&pi[v])
+					if pu == pv {
+						continue
+					}
+					high, low := pu, pv
+					if high < low {
+						high, low = low, high
+					}
+					if atomic.LoadUint32(&pi[high]) == high {
+						atomic.StoreUint32(&pi[high], low)
+						change.Store(true)
+					}
 				}
 			}
 		})

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"afforest/internal/baselines"
+	"afforest/internal/gen"
+	"afforest/internal/graph"
+	"afforest/internal/stats"
+)
+
+// TrajectoryEntry is one (algorithm, graph) cell of the perf
+// trajectory: the median runtime normalized to nanoseconds per
+// undirected edge, the unit Fig 6c reports and the one that stays
+// comparable as scales change between PRs.
+type TrajectoryEntry struct {
+	Algorithm string  `json:"algorithm"`
+	Graph     string  `json:"graph"`
+	Vertices  int     `json:"vertices"`
+	Edges     int64   `json:"edges"`
+	MedianMS  float64 `json:"median_ms"`
+	NSPerEdge float64 `json:"ns_per_edge"`
+}
+
+// TrajectoryReport is the machine-readable perf record emitted by
+// `ccbench -exp bench` and committed as BENCH_afforest.json so that
+// successive PRs accumulate a before/after history of the hot paths.
+type TrajectoryReport struct {
+	Date        string            `json:"date"`
+	Scale       int               `json:"scale"`
+	Runs        int               `json:"runs"`
+	Seed        uint64            `json:"seed"`
+	Parallelism int               `json:"parallelism"`
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	Entries     []TrajectoryEntry `json:"entries"`
+}
+
+// trajectoryRoster is the fixed (algorithm, graph) grid of the
+// trajectory: the paper's contribution plus the two baselines most
+// sensitive to link-phase throughput, on the two synthetic topologies
+// that bracket degree skew (urand: uniform; kron: power law).
+func trajectoryRoster() ([]baselines.Algorithm, []string) {
+	algos := []baselines.Algorithm{
+		Afforest(),
+		{Name: "sv", Run: baselines.SV},
+		{Name: "lp", Run: baselines.LP},
+	}
+	return algos, []string{"urand", "kron"}
+}
+
+// Trajectory measures the trajectory grid and returns the report.
+func Trajectory(cfg Config) *TrajectoryReport {
+	cfg = cfg.withDefaults()
+	rep := &TrajectoryReport{
+		Date:        time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		Scale:       cfg.Scale,
+		Runs:        cfg.Runs,
+		Seed:        cfg.Seed,
+		Parallelism: cfg.Parallelism,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	algos, graphs := trajectoryRoster()
+	for _, name := range graphs {
+		sg, err := gen.ByName(name)
+		if err != nil {
+			panic(err) // roster names are compile-time constants
+		}
+		g := sg.Build(cfg.Scale, cfg.Seed)
+		for _, alg := range algos {
+			var labels []graph.V
+			tm := stats.MeasureFunc(cfg.Runs, func() {
+				labels = alg.Run(g, cfg.Parallelism)
+			})
+			checkLabeling(cfg, g, alg.Name+"/"+name, labels)
+			edges := g.NumEdges()
+			rep.Entries = append(rep.Entries, TrajectoryEntry{
+				Algorithm: alg.Name,
+				Graph:     name,
+				Vertices:  g.NumVertices(),
+				Edges:     edges,
+				MedianMS:  tm.Median.Seconds() * 1000,
+				NSPerEdge: float64(tm.Median.Nanoseconds()) / float64(edges),
+			})
+		}
+	}
+	return rep
+}
+
+// Table renders the report for terminal output alongside the JSON.
+func (r *TrajectoryReport) Table() *stats.Table {
+	t := stats.NewTable("Bench trajectory: ns/edge, median", "algorithm", "graph", "edges", "median_ms", "ns_per_edge")
+	for _, e := range r.Entries {
+		t.AddRow(e.Algorithm, e.Graph, e.Edges, fmt.Sprintf("%.2f", e.MedianMS), fmt.Sprintf("%.3f", e.NSPerEdge))
+	}
+	return t
+}
+
+// WriteJSON writes the report to path, indented for diff-friendly
+// commits.
+func (r *TrajectoryReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -61,7 +61,18 @@ func ForWorker(n, p, grain int, body func(i, worker int)) {
 // half-open chunks [lo, hi), invoking body(lo, hi, worker) once per chunk.
 // This is the primitive the other For variants build on; algorithms that
 // want to hoist per-chunk state (e.g. local counters) call it directly.
+// Jobs run on the persistent default pool, so no goroutines are spawned
+// per call; worker ids are dense in [0, w) for w <= Procs(p)
+// participants, with the calling goroutine always worker 0.
 func ForRange(n, p, grain int, body func(lo, hi, worker int)) {
+	DefaultPool().ForRange(n, p, grain, body)
+}
+
+// forRangeSpawn is the original spawn-per-call scheduler, kept as the
+// reference implementation for the pool equivalence tests. The worker
+// count is capped at the chunk count ceil(n/grain) so small domains
+// never spawn workers that would find the ticket counter exhausted.
+func forRangeSpawn(n, p, grain int, body func(lo, hi, worker int)) {
 	if n <= 0 {
 		return
 	}
@@ -69,8 +80,8 @@ func ForRange(n, p, grain int, body func(lo, hi, worker int)) {
 		grain = DefaultGrain
 	}
 	p = Procs(p)
-	if p > n/grain+1 {
-		p = n/grain + 1
+	if chunks := (n + grain - 1) / grain; p > chunks {
+		p = chunks
 	}
 	if p <= 1 {
 		body(0, n, 0)

@@ -1,0 +1,187 @@
+package concurrent
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent set of worker goroutines that services
+// ForRange-shaped jobs. Afforest executes 2·rounds+2 parallel phases
+// per call — and the iterative baselines run dozens — so spawning fresh
+// goroutines per phase puts scheduler churn on the critical path of
+// loops that are otherwise pure memory traffic. A Pool keeps its
+// workers parked between phases: submitting a job is one mutex-guarded
+// pop of the idle list plus one buffered channel send per recruited
+// worker, and chunk distribution inside a job uses the same atomic
+// ticket counter as the spawn-based scheduler (schedule(dynamic, grain)
+// semantics are unchanged).
+//
+// The submitting goroutine always participates as worker 0, so a job
+// makes progress even when every pool worker is busy. Workers are
+// recruited only from the idle list — a worker blocked inside a nested
+// ForRange is never handed a job — which makes nested submissions
+// deadlock-free by construction.
+type Pool struct {
+	mu     sync.Mutex
+	idle   []int // slots of workers currently parked
+	tasks  []chan poolTask
+	closed bool
+}
+
+// poolTask hands a job to one recruited worker together with its
+// participant id (the submitter is always id 0).
+type poolTask struct {
+	job *poolJob
+	id  int
+}
+
+// poolJob is one ForRange-shaped job: workers claim [lo, hi) chunks
+// from the ticket counter until the domain is exhausted.
+type poolJob struct {
+	next  atomic.Int64
+	n     int
+	grain int
+	body  func(lo, hi, worker int)
+	wg    sync.WaitGroup
+}
+
+func (j *poolJob) run(worker int) {
+	g := int64(j.grain)
+	for {
+		lo := j.next.Add(g) - g
+		if lo >= int64(j.n) {
+			return
+		}
+		hi := int(lo) + j.grain
+		if hi > j.n {
+			hi = j.n
+		}
+		j.body(int(lo), hi, worker)
+	}
+}
+
+// NewPool starts a pool of size parked workers (size <= 0 means
+// GOMAXPROCS). The workers live until Close.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = Procs(0)
+	}
+	pl := &Pool{
+		idle:  make([]int, size),
+		tasks: make([]chan poolTask, size),
+	}
+	for i := range pl.tasks {
+		pl.idle[i] = i
+		// Capacity 1 so that a send to a worker just popped from the idle
+		// list never blocks, even if that worker has not yet parked on the
+		// receive.
+		pl.tasks[i] = make(chan poolTask, 1)
+	}
+	for i := range pl.tasks {
+		go pl.worker(i)
+	}
+	return pl
+}
+
+// Size returns the number of worker goroutines the pool was built with.
+func (pl *Pool) Size() int { return len(pl.tasks) }
+
+func (pl *Pool) worker(slot int) {
+	for t := range pl.tasks[slot] {
+		t.job.run(t.id)
+		t.job.wg.Done()
+		pl.mu.Lock()
+		closed := pl.closed
+		if !closed {
+			pl.idle = append(pl.idle, slot)
+		}
+		pl.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// grab pops up to max workers from the idle list. It returns nil after
+// Close, which degrades submissions to caller-only execution.
+func (pl *Pool) grab(max int) []int {
+	if max <= 0 {
+		return nil
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.closed || len(pl.idle) == 0 {
+		return nil
+	}
+	k := len(pl.idle)
+	if k > max {
+		k = max
+	}
+	cut := len(pl.idle) - k
+	slots := append([]int(nil), pl.idle[cut:]...)
+	pl.idle = pl.idle[:cut]
+	return slots
+}
+
+// ForRange is the pool-backed equivalent of the package-level ForRange:
+// it distributes [0, n) across at most p workers in dynamically claimed
+// chunks of grain indices, invoking body(lo, hi, worker) once per
+// chunk. Worker ids are dense in [0, w) where w <= p is the number of
+// actual participants; the calling goroutine is always worker 0.
+func (pl *Pool) ForRange(n, p, grain int, body func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	p = Procs(p)
+	if chunks := (n + grain - 1) / grain; p > chunks {
+		p = chunks
+	}
+	if p <= 1 {
+		body(0, n, 0)
+		return
+	}
+	job := &poolJob{n: n, grain: grain, body: body}
+	slots := pl.grab(p - 1)
+	job.wg.Add(len(slots))
+	for i, s := range slots {
+		pl.tasks[s] <- poolTask{job: job, id: i + 1}
+	}
+	job.run(0)
+	job.wg.Wait()
+}
+
+// Close shuts the pool's workers down. It must not be called
+// concurrently with job submission; it exists so tests can verify pools
+// do not leak goroutines. A closed pool still executes jobs correctly,
+// on the submitting goroutine alone. The package-level default pool is
+// never closed.
+func (pl *Pool) Close() {
+	pl.mu.Lock()
+	if pl.closed {
+		pl.mu.Unlock()
+		return
+	}
+	pl.closed = true
+	idle := pl.idle
+	pl.idle = nil
+	pl.mu.Unlock()
+	for _, s := range idle {
+		close(pl.tasks[s])
+	}
+}
+
+var (
+	defaultPoolOnce sync.Once
+	defaultPool     *Pool
+)
+
+// DefaultPool returns the process-wide pool (size GOMAXPROCS, created
+// lazily) that backs the package-level For/ForRange/ForEdgeRange
+// functions.
+func DefaultPool() *Pool {
+	defaultPoolOnce.Do(func() { defaultPool = NewPool(0) })
+	return defaultPool
+}

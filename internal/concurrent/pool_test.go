@@ -1,0 +1,321 @@
+package concurrent
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolForRangeCoversAllIndices(t *testing.T) {
+	pl := NewPool(4)
+	defer pl.Close()
+	for _, n := range []int{0, 1, 2, 63, 1000, 4096, 100_000} {
+		for _, p := range []int{0, 1, 2, 8} {
+			hits := make([]int32, n)
+			pl.ForRange(n, p, 128, func(lo, hi, _ int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d p=%d: index %d visited %d times", n, p, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolReusedAcrossCalls drives many back-to-back jobs through one
+// pool — the Afforest usage pattern (2·rounds+2 phases per call, many
+// calls per benchmark) — and checks every job completes correctly.
+func TestPoolReusedAcrossCalls(t *testing.T) {
+	pl := NewPool(3)
+	defer pl.Close()
+	const n = 10_000
+	for call := 0; call < 200; call++ {
+		var sum atomic.Int64
+		pl.ForRange(n, 0, 64, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				sum.Add(int64(i))
+			}
+		})
+		if want := int64(n) * (n - 1) / 2; sum.Load() != want {
+			t.Fatalf("call %d: sum = %d, want %d", call, sum.Load(), want)
+		}
+	}
+}
+
+// TestPoolMatchesSpawnQuick is the equivalence property of the
+// satellite checklist: for arbitrary (n, p, grain), the pool-based and
+// spawn-based ForRange both visit every index exactly once.
+func TestPoolMatchesSpawnQuick(t *testing.T) {
+	pl := NewPool(8)
+	defer pl.Close()
+	f := func(rawN uint16, rawP, rawGrain uint8) bool {
+		n := int(rawN) % 5000
+		p := int(rawP)%16 + 1
+		grain := int(rawGrain)%512 + 1
+		poolHits := make([]int32, n)
+		pl.ForRange(n, p, grain, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&poolHits[i], 1)
+			}
+		})
+		spawnHits := make([]int32, n)
+		forRangeSpawn(n, p, grain, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&spawnHits[i], 1)
+			}
+		})
+		for i := 0; i < n; i++ {
+			if poolHits[i] != 1 || spawnHits[i] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolWorkerIDsDense checks the participant-id contract: ids lie in
+// [0, p) and the calling goroutine is always worker 0.
+func TestPoolWorkerIDsDense(t *testing.T) {
+	pl := NewPool(4)
+	defer pl.Close()
+	const n, p = 100_000, 4
+	var seen [p + 1]atomic.Int64
+	pl.ForRange(n, p, 64, func(_, _, w int) {
+		if w < 0 || w >= p {
+			seen[p].Add(1)
+			return
+		}
+		seen[w].Add(1)
+	})
+	if seen[p].Load() != 0 {
+		t.Fatalf("%d chunks saw out-of-range worker ids", seen[p].Load())
+	}
+	if seen[0].Load() == 0 {
+		t.Fatal("caller (worker 0) never participated")
+	}
+}
+
+// TestForRangeSmallNDoesNotOverSpawn is the clamp regression test of
+// the satellite checklist: ForRange(n=1, p=64) must degrade to a single
+// inline worker (id 0), and a two-chunk domain must use at most two
+// worker ids, observable via the ForWorker ids.
+func TestForRangeSmallNDoesNotOverSpawn(t *testing.T) {
+	var ids [64]atomic.Int64
+	ForWorker(1, 64, 1024, func(_, w int) { ids[w].Add(1) })
+	for w := 1; w < 64; w++ {
+		if ids[w].Load() != 0 {
+			t.Fatalf("n=1: worker %d ran; want only worker 0", w)
+		}
+	}
+	if ids[0].Load() != 1 {
+		t.Fatalf("n=1: worker 0 ran %d iterations, want 1", ids[0].Load())
+	}
+
+	for w := range ids {
+		ids[w].Store(0)
+	}
+	ForRange(2048, 64, 1024, func(lo, hi, w int) { ids[w].Add(1) })
+	for w := 2; w < 64; w++ {
+		if ids[w].Load() != 0 {
+			t.Fatalf("2 chunks: worker %d ran; worker count must be capped at the chunk count", w)
+		}
+	}
+}
+
+// TestPoolNestedForRange submits jobs from inside pool workers; the
+// idle-only recruitment rule must keep this deadlock-free.
+func TestPoolNestedForRange(t *testing.T) {
+	pl := NewPool(4)
+	defer pl.Close()
+	var total atomic.Int64
+	pl.ForRange(64, 4, 1, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			pl.ForRange(100, 4, 8, func(ilo, ihi, _ int) {
+				total.Add(int64(ihi - ilo))
+			})
+		}
+	})
+	if total.Load() != 64*100 {
+		t.Fatalf("total = %d, want %d", total.Load(), 64*100)
+	}
+}
+
+// TestPoolClosedFallsBack checks that a closed pool still runs jobs
+// correctly (on the caller alone).
+func TestPoolClosedFallsBack(t *testing.T) {
+	pl := NewPool(2)
+	pl.Close()
+	pl.Close() // double Close is a no-op
+	hits := make([]int32, 1000)
+	pl.ForRange(len(hits), 8, 16, func(lo, hi, w int) {
+		if w != 0 {
+			t.Errorf("closed pool used worker %d", w)
+		}
+		for i := lo; i < hi; i++ {
+			hits[i]++
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+// randomOffsets builds a CSR offset array with skewed degrees, empty
+// rows, and an occasional hub much larger than the grain.
+func randomOffsets(rng *rand.Rand, n int) []int64 {
+	offsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		var d int
+		switch rng.Intn(10) {
+		case 0:
+			d = 0
+		case 1:
+			d = rng.Intn(2000) // hub: spans many chunks at small grain
+		default:
+			d = rng.Intn(8)
+		}
+		offsets[v+1] = offsets[v] + int64(d)
+	}
+	return offsets
+}
+
+func TestForEdgeRangeCoversAllArcsExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(500)
+		offsets := randomOffsets(rng, n)
+		m := offsets[n]
+		for _, p := range []int{1, 3, 8} {
+			for _, grain := range []int{1, 7, 64, 100_000} {
+				hits := make([]int32, m)
+				ForEdgeRange(offsets, p, grain, func(vlo, vhi int, alo, ahi int64, _ int) {
+					if vlo < 0 || vhi > n || vlo >= vhi || alo >= ahi {
+						t.Errorf("bad chunk v=[%d,%d) a=[%d,%d)", vlo, vhi, alo, ahi)
+						return
+					}
+					// The vertex range must exactly cover the arc range.
+					if offsets[vlo] > alo || offsets[vlo+1] <= alo || offsets[vhi-1] > ahi-1 || offsets[vhi] <= ahi-1 {
+						t.Errorf("chunk v=[%d,%d) does not own arcs [%d,%d)", vlo, vhi, alo, ahi)
+						return
+					}
+					for u := vlo; u < vhi; u++ {
+						lo, hi := offsets[u], offsets[u+1]
+						if lo < alo {
+							lo = alo
+						}
+						if hi > ahi {
+							hi = ahi
+						}
+						for k := lo; k < hi; k++ {
+							atomic.AddInt32(&hits[k], 1)
+						}
+					}
+				})
+				for k := range hits {
+					if hits[k] != 1 {
+						t.Fatalf("trial=%d p=%d grain=%d: arc %d visited %d times", trial, p, grain, k, hits[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForEdgeRangeMatchesSpawn is the arc-domain half of the
+// pool-vs-spawn equivalence property.
+func TestForEdgeRangeMatchesSpawn(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(300) + 1
+		offsets := randomOffsets(rng, n)
+		m := offsets[n]
+		p := rng.Intn(8) + 1
+		grain := rng.Intn(256) + 1
+		count := func(f func([]int64, int, int, func(vlo, vhi int, alo, ahi int64, worker int))) []int32 {
+			hits := make([]int32, m)
+			f(offsets, p, grain, func(vlo, vhi int, alo, ahi int64, _ int) {
+				for u := vlo; u < vhi; u++ {
+					lo, hi := offsets[u], offsets[u+1]
+					if lo < alo {
+						lo = alo
+					}
+					if hi > ahi {
+						hi = ahi
+					}
+					for k := lo; k < hi; k++ {
+						atomic.AddInt32(&hits[k], 1)
+					}
+				}
+			})
+			return hits
+		}
+		poolHits := count(ForEdgeRange)
+		spawnHits := count(forEdgeRangeSpawn)
+		for k := int64(0); k < m; k++ {
+			if poolHits[k] != 1 || spawnHits[k] != 1 {
+				t.Fatalf("trial=%d: arc %d pool=%d spawn=%d, want 1/1", trial, k, poolHits[k], spawnHits[k])
+			}
+		}
+	}
+}
+
+// TestForEdgeRangeSequentialDeterminism pins the p=1 contract: chunks
+// arrive in ascending arc order on worker 0, so Parallelism-1 runs are
+// deterministic.
+func TestForEdgeRangeSequentialDeterminism(t *testing.T) {
+	offsets := []int64{0, 3, 3, 10, 11, 20}
+	var order []int64
+	ForEdgeRange(offsets, 1, 4, func(_, _ int, alo, ahi int64, w int) {
+		if w != 0 {
+			t.Fatalf("p=1 used worker %d", w)
+		}
+		order = append(order, alo, ahi)
+	})
+	want := []int64{0, 4, 4, 8, 8, 12, 12, 16, 16, 20}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestArcOwner(t *testing.T) {
+	offsets := []int64{0, 0, 2, 2, 2, 5, 6}
+	wants := map[int64]int{0: 1, 1: 1, 2: 4, 3: 4, 4: 4, 5: 5}
+	for k, want := range wants {
+		if got := arcOwner(offsets, k); got != want {
+			t.Fatalf("arcOwner(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func BenchmarkPoolForRangeOverhead(b *testing.B) {
+	// Tiny jobs: measures submission latency, the cost the pool exists
+	// to shrink relative to spawn-per-phase.
+	pl := NewPool(0)
+	defer pl.Close()
+	b.ReportAllocs()
+	for it := 0; it < b.N; it++ {
+		pl.ForRange(1<<14, 0, 512, func(lo, hi, _ int) {})
+	}
+}
+
+func BenchmarkSpawnForRangeOverhead(b *testing.B) {
+	b.ReportAllocs()
+	for it := 0; it < b.N; it++ {
+		forRangeSpawn(1<<14, 0, 512, func(lo, hi, _ int) {})
+	}
+}

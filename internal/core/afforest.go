@@ -27,6 +27,14 @@ type Options struct {
 	// GOMAXPROCS.
 	Parallelism int
 
+	// EdgeGrain is the number of arcs per dynamically claimed chunk in
+	// the edge-balanced phases (the final phase here, and LinkAll).
+	// Zero means concurrent.DefaultEdgeGrain. Chunking by arcs rather
+	// than vertices keeps per-chunk work uniform on power-law degree
+	// distributions, where a single hub would otherwise serialize its
+	// whole vertex chunk.
+	EdgeGrain int
+
 	// Seed drives the probabilistic most-frequent-element search.
 	Seed uint64
 
@@ -72,15 +80,19 @@ func Run(g *graph.CSR, opt Options) Parent {
 		return p
 	}
 	rounds := opt.rounds()
+	offsets, targets := g.Adjacency(0, n)
 
 	// Phase 1: neighbor-sampling rounds (Fig 5 lines 2–9). Round r
-	// links each vertex to its r-th neighbor, followed by a full
+	// links each vertex to its r-th neighbor — read straight off the
+	// raw CSR slices as targets[offsets[u]+r] — followed by a full
 	// compress so the next round's links walk depth-1 trees.
 	for r := 0; r < rounds; r++ {
-		parallelFor(n, opt.Parallelism, func(i int) {
-			u := graph.V(i)
-			if r < g.Degree(u) {
-				Link(p, u, g.Neighbor(u, r))
+		rr := int64(r)
+		concurrent.ForRange(n, opt.Parallelism, 512, func(lo, hi, _ int) {
+			for u := lo; u < hi; u++ {
+				if k := offsets[u] + rr; k < offsets[u+1] {
+					Link(p, graph.V(u), targets[k])
+				}
 			}
 		})
 		if opt.HalvingCompress {
@@ -101,15 +113,29 @@ func Run(g *graph.CSR, opt Options) Parent {
 	// Phase 3: process the remaining edges — neighbors beyond the
 	// sampled rounds — skipping vertices already inside c (Fig 5 lines
 	// 11–15; Theorem 3 guarantees the cross edges are seen from their
-	// other endpoint).
-	parallelFor(n, opt.Parallelism, func(i int) {
-		u := graph.V(i)
-		if skip && p.Get(u) == c {
-			return
-		}
-		deg := g.Degree(u)
-		for k := rounds; k < deg; k++ {
-			Link(p, u, g.Neighbor(u, k))
+	// other endpoint). Chunks are balanced by arc count, so hub
+	// vertices split across chunks; each vertex's arc range is clipped
+	// to the chunk and offset past the already-sampled rounds.
+	skipArcs := int64(rounds)
+	concurrent.ForEdgeRange(offsets, opt.Parallelism, opt.EdgeGrain, func(vlo, vhi int, alo, ahi int64, _ int) {
+		for u := vlo; u < vhi; u++ {
+			lo, hi := offsets[u]+skipArcs, offsets[u+1]
+			if lo < alo {
+				lo = alo
+			}
+			if hi > ahi {
+				hi = ahi
+			}
+			if lo >= hi {
+				continue
+			}
+			uu := graph.V(u)
+			if skip && p.Get(uu) == c {
+				continue
+			}
+			for _, v := range targets[lo:hi] {
+				Link(p, uu, v)
+			}
 		}
 	})
 
@@ -134,9 +160,21 @@ func SampleFrequentElement(p Parent, samples int, seed uint64) graph.V {
 	if samples > n {
 		samples = n
 	}
-	counts := make(map[graph.V]int, samples)
+	// Open-addressed counting table in place of a map[V]int: at the
+	// default 1024 samples the table is two small arrays probed linearly
+	// at load factor <= 1/2, with no per-sample allocation or hashing
+	// through the runtime map.
+	tableSize, tableBits := 1, 0
+	for tableSize < 2*samples {
+		tableSize <<= 1
+		tableBits++
+	}
+	shift := uint(64 - tableBits)
+	mask := uint64(tableSize - 1)
+	keys := make([]graph.V, tableSize)
+	counts := make([]int32, tableSize)
 	s := seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
-	best, bestCount := graph.V(0), -1
+	best, bestCount := graph.V(0), int32(-1)
 	for i := 0; i < samples; i++ {
 		// SplitMix64 step inlined; this sampling is sequential and
 		// cheap relative to the link phases (Fig 7c's "F" section).
@@ -146,9 +184,16 @@ func SampleFrequentElement(p Parent, samples int, seed uint64) graph.V {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		z ^= z >> 31
 		v := p.Get(graph.V(z % uint64(n)))
-		counts[v]++
-		if counts[v] > bestCount {
-			best, bestCount = v, counts[v]
+		// Fibonacci hashing: the high bits of the product mix all input
+		// bits, unlike a low-bit mask.
+		idx := (uint64(v) * 0x9e3779b97f4a7c15) >> shift
+		for counts[idx] != 0 && keys[idx] != v {
+			idx = (idx + 1) & mask
+		}
+		keys[idx] = v
+		counts[idx]++
+		if counts[idx] > bestCount {
+			best, bestCount = v, counts[idx]
 		}
 	}
 	return best

@@ -1,6 +1,9 @@
 package core
 
-import "afforest/internal/graph"
+import (
+	"afforest/internal/concurrent"
+	"afforest/internal/graph"
+)
 
 // Link ensures u and v are in the same component tree of π, merging
 // their trees if needed (Fig 3). It is lock-free and safe to call from
@@ -86,13 +89,34 @@ func CompressHalveAll(p Parent, parallelism int) {
 
 // LinkAll applies Link over every arc of g in parallel — the core
 // algorithm of Section III with no sampling. After LinkAll, each
-// connected component of g is a single tree in π (Theorem 1).
+// connected component of g is a single tree in π (Theorem 1). Work is
+// distributed in arc-balanced chunks over the raw CSR slices, so
+// skewed degree distributions cannot serialize a chunk behind one hub.
 func LinkAll(g *graph.CSR, p Parent, parallelism int) {
+	LinkAllGrain(g, p, parallelism, 0)
+}
+
+// LinkAllGrain is LinkAll with an explicit arc-chunk grain (0 means
+// concurrent.DefaultEdgeGrain).
+func LinkAllGrain(g *graph.CSR, p Parent, parallelism, edgeGrain int) {
 	n := g.NumVertices()
-	parallelFor(n, parallelism, func(i int) {
-		u := graph.V(i)
-		for _, v := range g.Neighbors(u) {
-			Link(p, u, v)
+	if n == 0 {
+		return
+	}
+	offsets, targets := g.Adjacency(0, n)
+	concurrent.ForEdgeRange(offsets, parallelism, edgeGrain, func(vlo, vhi int, alo, ahi int64, _ int) {
+		for u := vlo; u < vhi; u++ {
+			lo, hi := offsets[u], offsets[u+1]
+			if lo < alo {
+				lo = alo
+			}
+			if hi > ahi {
+				hi = ahi
+			}
+			uu := graph.V(u)
+			for _, v := range targets[lo:hi] {
+				Link(p, uu, v)
+			}
 		}
 	})
 }

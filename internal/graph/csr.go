@@ -97,6 +97,22 @@ func (g *CSR) Neighbor(v V, i int) V {
 	return g.targets[g.offsets[v]+int64(i)]
 }
 
+// Adjacency returns the raw CSR arrays for the vertex range [lo, hi):
+// offsets is the row-offset subarray of length hi-lo+1 holding absolute
+// indices into targets, and targets is the full arc-target array, so
+// the adjacency of vertex v in [lo, hi) is
+// targets[offsets[v-lo]:offsets[v-lo+1]].
+//
+// This is the accessor-free view the link phases iterate: the per-edge
+// cost of Degree/Neighbor calls (two offset loads plus function-call
+// overhead per arc) matters in loops that are otherwise pure memory
+// traffic, while a raw-slice walk pays one bounds check per chunk.
+// Both slices alias the graph's internal storage and must not be
+// modified.
+func (g *CSR) Adjacency(lo, hi int) (offsets []int64, targets []V) {
+	return g.offsets[lo : hi+1 : hi+1], g.targets
+}
+
 // Offsets exposes the row-offset array (len NumVertices()+1) for
 // edge-parallel algorithms and serialization. Read-only.
 func (g *CSR) Offsets() []int64 { return g.offsets }

@@ -279,3 +279,49 @@ func BenchmarkBuild100k(b *testing.B) {
 		Build(edges, BuildOptions{NumVertices: n})
 	}
 }
+
+// TestAdjacencyMatchesAccessors pins the raw-slice view the hot loops
+// iterate against the accessor interface it replaces.
+func TestAdjacencyMatchesAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 200
+	edges := make([]Edge, 600)
+	for i := range edges {
+		edges[i] = Edge{V(rng.Intn(n)), V(rng.Intn(n))}
+	}
+	g := Build(edges, BuildOptions{NumVertices: n})
+
+	offsets, targets := g.Adjacency(0, n)
+	if len(offsets) != n+1 {
+		t.Fatalf("len(offsets) = %d, want %d", len(offsets), n+1)
+	}
+	for v := 0; v < n; v++ {
+		if got, want := int(offsets[v+1]-offsets[v]), g.Degree(V(v)); got != want {
+			t.Fatalf("vertex %d: degree %d via Adjacency, %d via Degree", v, got, want)
+		}
+		for k := offsets[v]; k < offsets[v+1]; k++ {
+			if got, want := targets[k], g.Neighbor(V(v), int(k-offsets[v])); got != want {
+				t.Fatalf("vertex %d arc %d: %d via Adjacency, %d via Neighbor", v, k, got, want)
+			}
+		}
+	}
+
+	// A sub-range view: offsets stay absolute indices into targets.
+	lo, hi := 50, 120
+	sub, subTargets := g.Adjacency(lo, hi)
+	if len(sub) != hi-lo+1 {
+		t.Fatalf("len(sub) = %d, want %d", len(sub), hi-lo+1)
+	}
+	for v := lo; v < hi; v++ {
+		adj := subTargets[sub[v-lo]:sub[v-lo+1]]
+		want := g.Neighbors(V(v))
+		if len(adj) != len(want) {
+			t.Fatalf("vertex %d: sub-range adjacency length %d, want %d", v, len(adj), len(want))
+		}
+		for i := range adj {
+			if adj[i] != want[i] {
+				t.Fatalf("vertex %d: sub-range adjacency differs at %d", v, i)
+			}
+		}
+	}
+}
