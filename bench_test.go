@@ -11,6 +11,8 @@ package afforest
 // each suite topology, which is the Fig 8a grid in testing.B form.
 
 import (
+	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"afforest/internal/baselines"
@@ -170,6 +172,22 @@ func BenchmarkBFSKron(b *testing.B) {
 
 func BenchmarkSerialUnionFindKron(b *testing.B) {
 	benchAlgorithmOn(b, suiteGraph("kron"), baselines.SerialUnionFind)
+}
+
+// BenchmarkIncrementalAddEdge is the write-path trajectory anchor for
+// the serve layer: concurrent streaming insert into the incremental
+// structure (ns/op is per edge). RunParallel mirrors the server's
+// regime — many goroutines racing AddEdge on one π array.
+func BenchmarkIncrementalAddEdge(b *testing.B) {
+	const n = 1 << 18
+	inc := NewIncremental(n)
+	var seq atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(int64(seq.Add(1))))
+		for pb.Next() {
+			inc.AddEdge(V(rng.Intn(n)), V(rng.Intn(n)))
+		}
+	})
 }
 
 // BenchmarkSpanningForestWeb measures the Section IV-A forest

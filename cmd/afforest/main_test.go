@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"testing"
@@ -48,6 +50,50 @@ func TestLoadOrGenerateErrors(t *testing.T) {
 	}
 	if _, err := loadOrGenerate("/nonexistent/file.csr", "", 0, 0, 0, 0); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestLoadOrGenerateTruncatedFile: corrupt or truncated inputs must
+// surface as clean errors. The historical failure was a truncated .csr
+// whose header claimed huge (but sub-cap) array sizes: the reader
+// allocated terabytes upfront and the process died with
+// `fatal error: runtime: out of memory` and a stack trace instead of
+// the one-line error the CLI prints for every other bad input.
+func TestLoadOrGenerateTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+
+	write := func(name string, blob []byte) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	var hugeHeader bytes.Buffer
+	hugeHeader.WriteString("AFCSR\x01")
+	binary.Write(&hugeHeader, binary.LittleEndian, [2]uint64{1 << 38, 1 << 38})
+
+	var midTruncated bytes.Buffer
+	midTruncated.WriteString("AFCSR\x01")
+	binary.Write(&midTruncated, binary.LittleEndian, [2]uint64{100, 200})
+	midTruncated.Write(make([]byte, 32)) // a fragment of the offsets array
+
+	for _, tc := range []struct {
+		name string
+		blob []byte
+	}{
+		{"empty.csr", nil},
+		{"magic-only.csr", []byte("AFCSR\x01")},
+		{"bad-magic.csr", make([]byte, 64)},
+		{"huge-header.csr", hugeHeader.Bytes()},
+		{"mid-truncated.csr", midTruncated.Bytes()},
+	} {
+		path := write(tc.name, tc.blob)
+		if _, err := loadOrGenerate(path, "", 0, 0, 0, 0); err == nil {
+			t.Errorf("%s: truncated/corrupt file accepted", tc.name)
+		}
 	}
 }
 

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"afforest/internal/serve"
+)
+
+// loadConfig parameterizes the -loadtest workload.
+type loadConfig struct {
+	Duration time.Duration
+	Clients  int
+	ReadFrac float64 // fraction of requests that are reads
+	Bulk     int     // edges per write request
+	Seed     uint64
+}
+
+// loadReport summarizes one loadtest run.
+type loadReport struct {
+	Elapsed     time.Duration
+	Reads       int64
+	Writes      int64
+	Edges       int64 // edges submitted across all writes
+	Errors      int64
+	ServerStats map[string]any // decoded /stats at the end of the run
+}
+
+func (r loadReport) ops() int64 { return r.Reads + r.Writes }
+
+func (r loadReport) String() string {
+	sec := r.Elapsed.Seconds()
+	return fmt.Sprintf(
+		"loadtest: %d ops in %v (%.0f ops/s): %d reads (%.0f/s), %d writes (%.0f/s, %d edges, %.0f edges/s), %d errors",
+		r.ops(), r.Elapsed.Round(time.Millisecond), float64(r.ops())/sec,
+		r.Reads, float64(r.Reads)/sec,
+		r.Writes, float64(r.Writes)/sec, r.Edges, float64(r.Edges)/sec,
+		r.Errors)
+}
+
+// loadtestMain resolves the target (spinning up an in-process server
+// from the graph flags when -target is empty), runs the workload, and
+// prints the report plus the server's own latency digest.
+func loadtestMain(target, in, genName, restore string, n, scale, deg int, seed uint64, cfg serve.Config, lc loadConfig) error {
+	if target == "" {
+		srv, err := buildServer(in, genName, restore, n, scale, deg, seed, cfg)
+		if err != nil {
+			return err
+		}
+		url, stop, err := startInProcess(srv)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		target = url
+		fmt.Printf("in-process server: %d vertices, %d edges on %s\n",
+			srv.NumVertices(), srv.EdgesAccepted(), url)
+	}
+	report, err := runLoadtest(target, lc)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	if rl, ok := report.ServerStats["read_latency"].(map[string]any); ok {
+		fmt.Printf("server read latency:  p50=%v p99=%v\n", latencyMS(rl["p50"]), latencyMS(rl["p99"]))
+	}
+	if wl, ok := report.ServerStats["write_latency"].(map[string]any); ok {
+		fmt.Printf("server write latency: p50=%v p99=%v\n", latencyMS(wl["p50"]), latencyMS(wl["p99"]))
+	}
+	if b, ok := report.ServerStats["batching"].(map[string]any); ok {
+		fmt.Printf("server batching: %v batches, avg %.1f edges/batch\n", b["batches"], toFloat(b["avg_batch"]))
+	}
+	return nil
+}
+
+func latencyMS(v any) time.Duration { return time.Duration(toFloat(v)) }
+
+func toFloat(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}
+
+// runLoadtest hammers target with lc.Clients goroutines issuing a
+// seeded mixed read/write workload for lc.Duration. Reads split across
+// /connected, /component, and /census; writes POST lc.Bulk random
+// edges. Every client gets an independent derived seed so runs are
+// reproducible.
+func runLoadtest(target string, lc loadConfig) (loadReport, error) {
+	if lc.Clients <= 0 {
+		lc.Clients = 8
+	}
+	if lc.Bulk <= 0 {
+		lc.Bulk = 8
+	}
+	if lc.ReadFrac < 0 || lc.ReadFrac > 1 {
+		return loadReport{}, fmt.Errorf("read-frac %v out of [0,1]", lc.ReadFrac)
+	}
+	// The vertex universe comes from the server itself.
+	var health struct {
+		Vertices int `json:"vertices"`
+	}
+	if err := getInto(target+"/healthz", &health); err != nil {
+		return loadReport{}, fmt.Errorf("target %s not healthy: %w", target, err)
+	}
+	n := health.Vertices
+	if n < 2 {
+		return loadReport{}, fmt.Errorf("target serves %d vertices; need at least 2", n)
+	}
+
+	var reads, writes, edges, errs atomic.Int64
+	start := time.Now()
+	deadline := start.Add(lc.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < lc.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(lc.Seed) + int64(c)*7919))
+			client := &http.Client{}
+			for time.Now().Before(deadline) {
+				if rng.Float64() < lc.ReadFrac {
+					var url string
+					switch r := rng.Intn(10); {
+					case r < 7:
+						url = target + "/connected?u=" + strconv.Itoa(rng.Intn(n)) + "&v=" + strconv.Itoa(rng.Intn(n))
+					case r < 9:
+						url = target + "/component?v=" + strconv.Itoa(rng.Intn(n))
+					default:
+						url = target + "/census?top=5"
+					}
+					if err := drainGet(client, url); err != nil {
+						errs.Add(1)
+					} else {
+						reads.Add(1)
+					}
+				} else {
+					pairs := make([][2]uint32, lc.Bulk)
+					for i := range pairs {
+						pairs[i] = [2]uint32{uint32(rng.Intn(n)), uint32(rng.Intn(n))}
+					}
+					body, _ := json.Marshal(map[string]any{"edges": pairs})
+					resp, err := client.Post(target+"/edges", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs.Add(1)
+						continue
+					}
+					writes.Add(1)
+					edges.Add(int64(lc.Bulk))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	report := loadReport{
+		Elapsed: time.Since(start), // configured duration + drain of the last in-flight requests
+		Reads:   reads.Load(),
+		Writes:  writes.Load(),
+		Edges:   edges.Load(),
+		Errors:  errs.Load(),
+	}
+	var stats map[string]any
+	if err := getInto(target+"/stats", &stats); err == nil {
+		report.ServerStats = stats
+	}
+	return report, nil
+}
+
+func getInto(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func drainGet(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}

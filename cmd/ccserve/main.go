@@ -1,0 +1,179 @@
+// Command ccserve hosts a graph as a live connectivity service: it
+// loads or generates a graph, bootstraps component labels with a full
+// Afforest run (or restores a persisted snapshot), and serves the
+// internal/serve JSON endpoints. With -loadtest it instead acts as a
+// load generator, hammering a server (in-process by default, or a
+// remote -target) with a seeded mixed read/write workload and reporting
+// sustained throughput.
+//
+// Examples:
+//
+//	ccserve -gen kron -scale 18 -addr :8080
+//	ccserve -in graph.csr -save pi.snap
+//	ccserve -restore pi.snap
+//	ccserve -gen urand -n 100000 -loadtest -clients 16 -duration 10s
+//	ccserve -loadtest -target http://localhost:8080 -read-frac 0.8
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"afforest/internal/gen"
+	"afforest/internal/graph"
+	"afforest/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		in       = flag.String("in", "", "input graph file (.csr binary or text edge list); mutually exclusive with -gen/-restore")
+		genName  = flag.String("gen", "", "generate a graph: urand | kron | road | twitter | web | regular")
+		n        = flag.Int("n", 1<<16, "vertices for -gen (urand/road/twitter/web/regular)")
+		scale    = flag.Int("scale", 16, "log2 vertices for -gen kron")
+		deg      = flag.Int("deg", 16, "average degree / edge factor / attach count for -gen")
+		seed     = flag.Uint64("seed", 42, "generator seed")
+		restore  = flag.String("restore", "", "restore a label snapshot written by -save (restart without rebuild)")
+		save     = flag.String("save", "", "persist a label snapshot to this path on shutdown")
+		par      = flag.Int("p", 0, "parallelism (0 = GOMAXPROCS)")
+		window   = flag.Duration("batch-window", time.Millisecond, "write-coalescing window (negative = no waiting)")
+		maxBatch = flag.Int("max-batch", 8192, "max edges per coalesced batch")
+		snapEach = flag.Duration("snapshot-every", 250*time.Millisecond, "census snapshot refresh period (negative = on demand)")
+
+		loadtest = flag.Bool("loadtest", false, "run the load generator instead of serving")
+		target   = flag.String("target", "", "loadtest target URL (empty = spin up an in-process server)")
+		duration = flag.Duration("duration", 5*time.Second, "loadtest duration")
+		clients  = flag.Int("clients", 8, "loadtest client goroutines")
+		readFrac = flag.Float64("read-frac", 0.9, "loadtest fraction of read requests (0..1)")
+		bulk     = flag.Int("bulk", 8, "loadtest edges per write request")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		BatchWindow:   *window,
+		MaxBatch:      *maxBatch,
+		SnapshotEvery: *snapEach,
+		Parallelism:   *par,
+	}
+
+	if *loadtest {
+		if err := loadtestMain(*target, *in, *genName, *restore, *n, *scale, *deg, *seed, cfg,
+			loadConfig{Duration: *duration, Clients: *clients, ReadFrac: *readFrac, Bulk: *bulk, Seed: *seed}); err != nil {
+			fmt.Fprintln(os.Stderr, "ccserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	srv, err := buildServer(*in, *genName, *restore, *n, *scale, *deg, *seed, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving %d vertices, %d edges, %d components on %s\n",
+		srv.NumVertices(), srv.EdgesAccepted(), srv.Snapshot().NumComponents(), *addr)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "ccserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	// Stop accepting and finish in-flight requests first (write handlers
+	// block on batcher replies, so the batcher must outlive them), then
+	// drain the batch queue, then persist.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "ccserve: shutdown:", err)
+	}
+	srv.Close()
+	if *save != "" {
+		if err := srv.SaveSnapshot(*save); err != nil {
+			fmt.Fprintln(os.Stderr, "ccserve: saving snapshot:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("snapshot saved to %s (%d edges)\n", *save, srv.EdgesAccepted())
+	}
+}
+
+// buildServer resolves the graph source flags into a running server.
+func buildServer(in, genName, restore string, n, scale, deg int, seed uint64, cfg serve.Config) (*serve.Server, error) {
+	sources := 0
+	for _, s := range []string{in, genName, restore} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return nil, errors.New("-in, -gen, and -restore are mutually exclusive")
+	}
+	switch {
+	case restore != "":
+		return serve.Restore(restore, cfg)
+	case in != "":
+		g, err := graph.LoadFile(in)
+		if err != nil {
+			return nil, err
+		}
+		return serve.Bootstrap(g, cfg)
+	case genName != "":
+		g, err := generate(genName, n, scale, deg, seed)
+		if err != nil {
+			return nil, err
+		}
+		return serve.Bootstrap(g, cfg)
+	default:
+		return nil, errors.New("provide -in FILE, -gen NAME, or -restore SNAPSHOT (try -gen urand)")
+	}
+}
+
+func generate(genName string, n, scale, deg int, seed uint64) (*graph.CSR, error) {
+	switch genName {
+	case "urand":
+		return gen.URandDegree(n, deg, seed), nil
+	case "kron":
+		return gen.Kronecker(scale, deg, gen.Graph500, seed), nil
+	case "road":
+		return gen.Road(n, seed), nil
+	case "twitter":
+		return gen.TwitterLike(n, deg, seed), nil
+	case "web":
+		return gen.WebLike(n, deg, seed), nil
+	case "regular":
+		return gen.Regular(n, deg, seed), nil
+	}
+	return nil, fmt.Errorf("unknown generator %q", genName)
+}
+
+// startInProcess serves srv on a loopback listener and returns its base
+// URL plus a stop function (used by -loadtest without -target).
+func startInProcess(srv *serve.Server) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		srv.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}

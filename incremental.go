@@ -35,3 +35,13 @@ func (inc *Incremental) NumVertices() int { return inc.inner.NumVertices() }
 // component labels (minimum vertex id per component). The slice aliases
 // live state; copy it if insertion continues.
 func (inc *Incremental) Labels() []V { return inc.inner.Labels(0) }
+
+// Components returns a compressed, caller-owned component label slice:
+// two vertices are connected iff their labels are equal. Unlike Labels,
+// the result does not alias live state, so it stays valid while edges
+// continue to stream.
+func (inc *Incremental) Components() []V { return inc.inner.Components() }
+
+// ComponentSize returns the number of vertices currently in v's
+// component (an O(n) scan; sizes only ever grow under streaming).
+func (inc *Incremental) ComponentSize(v V) int { return inc.inner.ComponentSize(v) }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"afforest/internal/graph"
@@ -83,4 +84,58 @@ func (inc *Incremental) Compress(parallelism int) {
 func (inc *Incremental) Labels(parallelism int) []graph.V {
 	CompressAll(inc.p, parallelism)
 	return inc.p.Labels()
+}
+
+// Snapshot compresses and returns a copy of the labeling that does not
+// alias live state: the caller owns it outright, and concurrent
+// insertions after Snapshot returns cannot perturb it. This is the
+// copy-on-read primitive behind the serve layer's lock-free census —
+// readers query an immutable snapshot while writers keep streaming into
+// π. Edges inserted concurrently with the Snapshot call itself may or
+// may not be reflected (each vertex's label is some linearized value).
+func (inc *Incremental) Snapshot(parallelism int) []graph.V {
+	CompressAll(inc.p, parallelism)
+	out := make([]graph.V, len(inc.p))
+	parallelFor(len(inc.p), parallelism, func(i int) {
+		out[i] = inc.p.Get(graph.V(i))
+	})
+	return out
+}
+
+// Components is Snapshot with default parallelism: the compressed,
+// caller-owned component label slice (two vertices are connected iff
+// their labels are equal).
+func (inc *Incremental) Components() []graph.V { return inc.Snapshot(0) }
+
+// ComponentSize returns the number of vertices currently in v's
+// component. It is an O(n) scan (no mutation, safe concurrently with
+// AddEdge); under streaming the result reflects some linearization, and
+// sizes only ever grow. Serving layers that need many size queries
+// should take one Snapshot and count labels there instead.
+func (inc *Incremental) ComponentSize(v graph.V) int {
+	root := inc.p.Find(v)
+	size := 0
+	for u := range inc.p {
+		if inc.p.Find(graph.V(u)) == root {
+			size++
+		}
+	}
+	return size
+}
+
+// RestoreIncremental rebuilds an Incremental from a label slice
+// previously produced by Snapshot/Components (or any labeling honoring
+// Invariant 1, e.g. a batch Run's compressed π). The slice is copied;
+// the component count is recomputed from the root population. This is
+// the restart-without-rebuild hook: a served graph's π persisted at
+// shutdown comes back without re-running the batch algorithm.
+func RestoreIncremental(labels []graph.V) (*Incremental, error) {
+	p := make(Parent, len(labels))
+	copy(p, labels)
+	if v := p.Validate(); v >= 0 {
+		return nil, fmt.Errorf("core: label snapshot violates invariant π(x) ≤ x at vertex %d (π=%d)", v, p.Get(graph.V(v)))
+	}
+	inc := &Incremental{p: p}
+	inc.components.Store(int64(p.CountTrees()))
+	return inc, nil
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"afforest/internal/concurrent"
 	"afforest/internal/gen"
@@ -130,6 +132,166 @@ func TestIncrementalCompressKeepsSemantics(t *testing.T) {
 	}
 	if inc.Find(99) != 0 {
 		t.Fatalf("representative = %d, want 0", inc.Find(99))
+	}
+}
+
+func TestIncrementalComponentsMatchesSerialUnionFind(t *testing.T) {
+	g := gen.TwitterLike(3000, 6, 7)
+	inc := NewIncremental(g.NumVertices())
+	for _, e := range g.Edges() {
+		inc.AddEdge(e.U, e.V)
+	}
+	labels := inc.Components()
+	oracle, sizes := graph.SequentialCC(g)
+	// Same partition: equal labels iff equal oracle components.
+	fwd := map[graph.V]int32{}
+	rev := map[int32]graph.V{}
+	for v := range labels {
+		l, o := labels[v], oracle[v]
+		if want, ok := fwd[l]; ok && want != o {
+			t.Fatalf("label %d spans oracle components %d and %d", l, want, o)
+		}
+		if want, ok := rev[o]; ok && want != l {
+			t.Fatalf("oracle component %d got labels %d and %d", o, want, l)
+		}
+		fwd[l], rev[o] = o, l
+	}
+	if len(fwd) != len(sizes) {
+		t.Fatalf("%d distinct labels, oracle has %d components", len(fwd), len(sizes))
+	}
+	// Components must return an owned copy: mutating it cannot disturb
+	// the live structure.
+	labels[0] = 999999
+	if inc.Find(0) == 999999 {
+		t.Fatal("Components aliases live state")
+	}
+}
+
+func TestIncrementalComponentSize(t *testing.T) {
+	g := gen.URandComponents(2000, 8, 0.25, 5)
+	inc := NewIncremental(g.NumVertices())
+	for _, e := range g.Edges() {
+		inc.AddEdge(e.U, e.V)
+	}
+	oracle, sizes := graph.SequentialCC(g)
+	for _, v := range []graph.V{0, 1, 99, 777, 1999} {
+		want := sizes[oracle[v]]
+		if got := inc.ComponentSize(v); got != want {
+			t.Fatalf("ComponentSize(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestRestoreIncrementalRoundTrip(t *testing.T) {
+	g := gen.Kronecker(10, 8, gen.Graph500, 3)
+	inc := NewIncremental(g.NumVertices())
+	edges := g.Edges()
+	half := len(edges) / 2
+	for _, e := range edges[:half] {
+		inc.AddEdge(e.U, e.V)
+	}
+	snap := inc.Snapshot(0)
+	restored, err := RestoreIncremental(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumComponents() != inc.NumComponents() {
+		t.Fatalf("restored %d components, want %d", restored.NumComponents(), inc.NumComponents())
+	}
+	// Streaming the remaining edges into the restored structure must
+	// land exactly where the uninterrupted run does.
+	for _, e := range edges[half:] {
+		inc.AddEdge(e.U, e.V)
+		restored.AddEdge(e.U, e.V)
+	}
+	a, b := inc.Components(), restored.Components()
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("vertex %d: %d vs restored %d", v, a[v], b[v])
+		}
+	}
+}
+
+func TestRestoreIncrementalRejectsBadLabels(t *testing.T) {
+	if _, err := RestoreIncremental([]graph.V{0, 2, 2}); err == nil {
+		t.Fatal("labels violating π(x) ≤ x accepted")
+	}
+}
+
+// TestIncrementalMixedConcurrentDurable hammers one structure with
+// concurrent AddEdge, Connected, NumComponents, and Snapshot calls
+// (run under -race in the verify recipe). It asserts the serving-layer
+// contract: a true Connected answer never reverts, NumComponents is
+// non-increasing, and the final state matches serial union-find.
+func TestIncrementalMixedConcurrentDurable(t *testing.T) {
+	g := gen.URandDegree(4000, 8, 11)
+	edges := g.Edges()
+	inc := NewIncremental(g.NumVertices())
+
+	const writers, readers = 4, 4
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+	type pair struct{ u, v graph.V }
+	sawTrue := make([][]pair, readers)
+
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := w; i < len(edges); i += writers {
+				inc.AddEdge(edges[i].U, edges[i].V)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func(r int) {
+			defer readWG.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			n := inc.NumVertices()
+			lastComponents := n + 1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u, v := graph.V(rng.Intn(n)), graph.V(rng.Intn(n))
+				if inc.Connected(u, v) {
+					sawTrue[r] = append(sawTrue[r], pair{u, v})
+				}
+				if c := inc.NumComponents(); c > lastComponents {
+					t.Errorf("NumComponents grew: %d after %d", c, lastComponents)
+					return
+				} else {
+					lastComponents = c
+				}
+				if rng.Intn(64) == 0 {
+					inc.Snapshot(1) // compress concurrently with the stream
+				}
+			}
+		}(r)
+	}
+	// Writers finish first; readers keep mixing queries over the final
+	// state briefly, then stop.
+	writeWG.Wait()
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	readWG.Wait()
+
+	oracle, sizes := graph.SequentialCC(g)
+	if inc.NumComponents() != len(sizes) {
+		t.Fatalf("final components = %d, oracle %d", inc.NumComponents(), len(sizes))
+	}
+	for r, pairs := range sawTrue {
+		for _, p := range pairs {
+			if !inc.Connected(p.u, p.v) {
+				t.Fatalf("reader %d: true Connected(%d,%d) reverted", r, p.u, p.v)
+			}
+			if oracle[p.u] != oracle[p.v] {
+				t.Fatalf("reader %d: Connected(%d,%d) true but oracle disagrees", r, p.u, p.v)
+			}
+		}
 	}
 }
 

@@ -110,12 +110,16 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 	if n > maxReasonable || m > maxReasonable {
 		return nil, fmt.Errorf("graph: implausible sizes |V|=%d arcs=%d", n, m)
 	}
-	offsets := make([]int64, n+1)
-	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
+	// The chunked readers size allocations by what the stream actually
+	// delivers, so a truncated file whose header claims huge (but
+	// sub-cap) counts fails with a clean IO error instead of an
+	// out-of-memory crash on the upfront make.
+	offsets, err := readInt64s(br, n+1)
+	if err != nil {
 		return nil, fmt.Errorf("graph: reading offsets: %w", err)
 	}
-	targets := make([]V, m)
-	if err := binary.Read(br, binary.LittleEndian, targets); err != nil {
+	targets, err := readUint32s(br, m)
+	if err != nil {
 		return nil, fmt.Errorf("graph: reading targets: %w", err)
 	}
 	if offsets[0] != 0 || offsets[n] != int64(m) {

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Label-snapshot format: the serve layer's restart-without-rebuild
+// persistence. A snapshot is a compressed π array (per-vertex component
+// labels honoring Invariant 1: label[v] <= v) plus the accepted-edge
+// count at snapshot time, so a restarted server resumes with exact
+// connectivity state and an honest edge counter without re-running the
+// batch algorithm.
+//
+//	magic [6]byte | numVertices uint64 | numEdges uint64 | labels [numVertices]uint32
+
+const labelMagic = "AFPIS\x01"
+
+// readChunkLimit bounds how many elements a single binary read
+// allocates at once. Deserializers size their buffers from an untrusted
+// header; reading in bounded chunks means a corrupt header claiming
+// terabytes fails with an IO error on the first missing chunk instead
+// of taking the process down with an out-of-memory upfront allocation.
+const readChunkLimit = 1 << 20
+
+// readInt64s reads count little-endian int64 values in bounded chunks.
+func readInt64s(r io.Reader, count uint64) ([]int64, error) {
+	cap0 := count
+	if cap0 > readChunkLimit {
+		cap0 = readChunkLimit
+	}
+	out := make([]int64, 0, cap0)
+	for count > 0 {
+		k := count
+		if k > readChunkLimit {
+			k = readChunkLimit
+		}
+		start := len(out)
+		out = append(out, make([]int64, k)...)
+		if err := binary.Read(r, binary.LittleEndian, out[start:]); err != nil {
+			return nil, err
+		}
+		count -= k
+	}
+	return out, nil
+}
+
+// readUint32s reads count little-endian uint32 values in bounded chunks.
+func readUint32s(r io.Reader, count uint64) ([]V, error) {
+	cap0 := count
+	if cap0 > readChunkLimit {
+		cap0 = readChunkLimit
+	}
+	out := make([]V, 0, cap0)
+	for count > 0 {
+		k := count
+		if k > readChunkLimit {
+			k = readChunkLimit
+		}
+		start := len(out)
+		out = append(out, make([]V, k)...)
+		if err := binary.Read(r, binary.LittleEndian, out[start:]); err != nil {
+			return nil, err
+		}
+		count -= k
+	}
+	return out, nil
+}
+
+// WriteLabelSnapshot serializes a component labeling and its
+// accepted-edge count.
+func WriteLabelSnapshot(w io.Writer, labels []V, edges int64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(labelMagic); err != nil {
+		return err
+	}
+	hdr := [2]uint64{uint64(len(labels)), uint64(edges)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, labels); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadLabelSnapshot deserializes a snapshot written by
+// WriteLabelSnapshot, validating Invariant 1 (label[v] <= v) so a
+// corrupt file cannot smuggle a cyclic π into a restarted server.
+func ReadLabelSnapshot(r io.Reader) (labels []V, edges int64, err error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(labelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, 0, fmt.Errorf("graph: reading snapshot magic: %w", err)
+	}
+	if string(magic) != labelMagic {
+		return nil, 0, fmt.Errorf("graph: bad snapshot magic %q", magic)
+	}
+	var hdr [2]uint64
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("graph: reading snapshot header: %w", err)
+	}
+	n, m := hdr[0], hdr[1]
+	if n > 1<<32 {
+		return nil, 0, fmt.Errorf("graph: implausible snapshot size |V|=%d", n)
+	}
+	labels, err = readUint32s(br, n)
+	if err != nil {
+		return nil, 0, fmt.Errorf("graph: reading snapshot labels: %w", err)
+	}
+	for v, l := range labels {
+		if l > V(v) {
+			return nil, 0, fmt.Errorf("graph: snapshot label[%d]=%d violates π(x) ≤ x", v, l)
+		}
+	}
+	return labels, int64(m), nil
+}
+
+// SaveLabelSnapshot writes a snapshot to path.
+func SaveLabelSnapshot(path string, labels []V, edges int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := WriteLabelSnapshot(f, labels, edges)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// LoadLabelSnapshot reads a snapshot from path.
+func LoadLabelSnapshot(path string) (labels []V, edges int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return ReadLabelSnapshot(f)
+}

@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLabelSnapshotRoundTrip(t *testing.T) {
+	labels := []V{0, 0, 2, 2, 0, 5}
+	var buf bytes.Buffer
+	if err := WriteLabelSnapshot(&buf, labels, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, edges, err := ReadLabelSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges != 42 {
+		t.Fatalf("edges = %d, want 42", edges)
+	}
+	if len(got) != len(labels) {
+		t.Fatalf("len = %d, want %d", len(got), len(labels))
+	}
+	for i := range labels {
+		if got[i] != labels[i] {
+			t.Fatalf("label[%d] = %d, want %d", i, got[i], labels[i])
+		}
+	}
+}
+
+func TestLabelSnapshotFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pi.snap")
+	labels := make([]V, 10000)
+	for i := range labels {
+		labels[i] = V(i % 7)
+	}
+	// Keep the invariant: label[v] <= v.
+	for i := 0; i < 7; i++ {
+		labels[i] = 0
+	}
+	if err := SaveLabelSnapshot(path, labels, 123456); err != nil {
+		t.Fatal(err)
+	}
+	got, edges, err := LoadLabelSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges != 123456 || len(got) != len(labels) {
+		t.Fatalf("edges=%d len=%d", edges, len(got))
+	}
+}
+
+func TestLabelSnapshotRejectsCorruption(t *testing.T) {
+	// Wrong magic.
+	if _, _, err := ReadLabelSnapshot(strings.NewReader("NOTASNAPSHOT")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Invariant violation: label[1] = 2 > 1.
+	var buf bytes.Buffer
+	if err := WriteLabelSnapshot(&buf, []V{0, 2, 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadLabelSnapshot(&buf); err == nil {
+		t.Fatal("invariant-violating snapshot accepted")
+	}
+	// Truncated labels.
+	var buf2 bytes.Buffer
+	if err := WriteLabelSnapshot(&buf2, []V{0, 0, 0, 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	short := buf2.Bytes()[:buf2.Len()-6]
+	if _, _, err := ReadLabelSnapshot(bytes.NewReader(short)); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+// TestLabelSnapshotHugeHeaderNoOOM is the regression test for the
+// chunked readers: a header claiming ~2^31 labels over an empty body
+// must fail with an IO error, not an out-of-memory crash from the
+// upfront allocation.
+func TestLabelSnapshotHugeHeaderNoOOM(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("AFPIS\x01")
+	binary.Write(&buf, binary.LittleEndian, [2]uint64{1 << 31, 0})
+	if _, _, err := ReadLabelSnapshot(&buf); err == nil {
+		t.Fatal("truncated huge snapshot accepted")
+	}
+}
+
+// TestReadBinaryHugeHeaderNoOOM: same property for the CSR reader —
+// the historical failure mode was `afforest -in corrupt.csr` dying with
+// `fatal error: runtime: out of memory` instead of a clean error.
+func TestReadBinaryHugeHeaderNoOOM(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("AFCSR\x01")
+	binary.Write(&buf, binary.LittleEndian, [2]uint64{1 << 38, 1 << 38})
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("truncated huge CSR accepted")
+	}
+}

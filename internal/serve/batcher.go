@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"afforest/internal/concurrent"
+	"afforest/internal/core"
+	"afforest/internal/graph"
+)
+
+// edgeBatcher coalesces concurrent POST /edges bodies into batches
+// executed as one parallel pass on the concurrent worker pool. Handler
+// goroutines enqueue a submission and block on its reply; the batcher
+// goroutine collects submissions for up to `window` (or until
+// `maxBatch` edges are pending) and links the whole batch at once —
+// under load, per-request overhead (pool submission, cache re-warming
+// of π) amortizes across every request in the batch, which is exactly
+// the regime Theorem 1 permits: edges from different requests can be
+// linked in any interleaving, in parallel, without coordination.
+type edgeBatcher struct {
+	inc         *core.Incremental
+	window      time.Duration
+	maxBatch    int
+	parallelism int
+	accepted    *atomic.Int64 // server's accepted-edge counter
+
+	submit chan *submission
+	done   chan struct{}
+
+	batches      atomic.Int64
+	batchedEdges atomic.Int64
+	merges       atomic.Int64
+	maxSeen      atomic.Int64
+}
+
+// submission is one request's edges plus the channel its handler blocks
+// on. reply is buffered so the batcher never blocks on a dead handler.
+type submission struct {
+	edges []graph.Edge
+	reply chan submitResult
+}
+
+type submitResult struct {
+	accepted int
+	merged   int
+}
+
+func newEdgeBatcher(inc *core.Incremental, window time.Duration, maxBatch, parallelism int, accepted *atomic.Int64) *edgeBatcher {
+	if maxBatch <= 0 {
+		maxBatch = 8192
+	}
+	b := &edgeBatcher{
+		inc:         inc,
+		window:      window,
+		maxBatch:    maxBatch,
+		parallelism: parallelism,
+		accepted:    accepted,
+		submit:      make(chan *submission, 1024),
+		done:        make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// run is the batcher goroutine: collect, flush, repeat until the submit
+// channel closes, then flush whatever is pending and exit. Closing the
+// channel is the drain signal — the server guarantees no enqueue races
+// with it — so every accepted submission is flushed before done closes.
+func (b *edgeBatcher) run() {
+	defer close(b.done)
+	for {
+		first, ok := <-b.submit
+		if !ok {
+			return
+		}
+		batch, open := b.collect(first)
+		b.flush(batch)
+		if !open {
+			return
+		}
+	}
+}
+
+// collect gathers submissions after `first` until the batch window
+// expires or maxBatch edges are pending. A non-positive window means
+// "no waiting": take only what is already queued.
+func (b *edgeBatcher) collect(first *submission) (batch []*submission, open bool) {
+	batch = []*submission{first}
+	total := len(first.edges)
+	if b.window <= 0 {
+		for total < b.maxBatch {
+			select {
+			case s, ok := <-b.submit:
+				if !ok {
+					return batch, false
+				}
+				batch = append(batch, s)
+				total += len(s.edges)
+			default:
+				return batch, true
+			}
+		}
+		return batch, true
+	}
+	timer := time.NewTimer(b.window)
+	defer timer.Stop()
+	for total < b.maxBatch {
+		select {
+		case s, ok := <-b.submit:
+			if !ok {
+				return batch, false
+			}
+			batch = append(batch, s)
+			total += len(s.edges)
+		case <-timer.C:
+			return batch, true
+		}
+	}
+	return batch, true
+}
+
+// flush links every edge of the batch in one parallel pass and replies
+// to each submission with its accepted/merged counts.
+func (b *edgeBatcher) flush(batch []*submission) {
+	type flatEdge struct {
+		u, v graph.V
+		sub  int32
+	}
+	total := 0
+	for _, s := range batch {
+		total += len(s.edges)
+	}
+	flat := make([]flatEdge, 0, total)
+	for i, s := range batch {
+		for _, e := range s.edges {
+			flat = append(flat, flatEdge{u: e.U, v: e.V, sub: int32(i)})
+		}
+	}
+	mergedPer := make([]int64, len(batch))
+	if len(flat) > 0 {
+		concurrent.ForRange(len(flat), b.parallelism, 256, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				e := flat[i]
+				if b.inc.AddEdge(e.u, e.v) {
+					atomic.AddInt64(&mergedPer[e.sub], 1)
+				}
+			}
+		})
+	}
+	var merged int64
+	for _, m := range mergedPer {
+		merged += m
+	}
+	b.batches.Add(1)
+	b.batchedEdges.Add(int64(total))
+	b.merges.Add(merged)
+	b.accepted.Add(int64(total))
+	for {
+		max := b.maxSeen.Load()
+		if int64(total) <= max || b.maxSeen.CompareAndSwap(max, int64(total)) {
+			break
+		}
+	}
+	for i, s := range batch {
+		s.reply <- submitResult{accepted: len(s.edges), merged: int(mergedPer[i])}
+	}
+}

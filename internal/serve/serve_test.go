@@ -1,0 +1,465 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"afforest/internal/core"
+	"afforest/internal/gen"
+	"afforest/internal/graph"
+)
+
+// postEdges POSTs a bulk edge body and decodes the response.
+func postEdges(t *testing.T, client *http.Client, url string, edges []graph.Edge) (accepted, merged int, status int) {
+	t.Helper()
+	pairs := make([][2]uint32, len(edges))
+	for i, e := range edges {
+		pairs[i] = [2]uint32{e.U, e.V}
+	}
+	body, err := json.Marshal(map[string]any{"edges": pairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url+"/edges", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, 0, resp.StatusCode
+	}
+	var out struct {
+		Accepted int `json:"accepted"`
+		Merged   int `json:"merged"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Accepted, out.Merged, resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+// unionFind is the serial oracle the acceptance criteria call for.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// TestServeEndToEnd is the acceptance e2e: bootstrap a seeded kron
+// graph, stream a seeded edge set via POST /edges from 8 concurrent
+// clients, and verify every /connected and /census answer against a
+// serial union-find over the union of initial + streamed edges.
+func TestServeEndToEnd(t *testing.T) {
+	g := gen.Kronecker(10, 8, gen.Graph500, 99)
+	n := g.NumVertices()
+	srv, err := Bootstrap(g, Config{BatchWindow: 500 * time.Microsecond, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// A seeded extra edge stream, disjoint from nothing in particular —
+	// random pairs exercise both merging and redundant inserts.
+	rng := rand.New(rand.NewSource(7))
+	streamed := make([]graph.Edge, 4000)
+	for i := range streamed {
+		streamed[i] = graph.Edge{U: graph.V(rng.Intn(n)), V: graph.V(rng.Intn(n))}
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	per := len(streamed) / clients
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			chunk := streamed[c*per : (c+1)*per]
+			// Mixed body sizes: singles and small bulks.
+			for lo := 0; lo < len(chunk); {
+				hi := lo + 1 + c%7
+				if hi > len(chunk) {
+					hi = len(chunk)
+				}
+				accepted, _, status := postEdges(t, client, ts.URL, chunk[lo:hi])
+				if status != http.StatusOK || accepted != hi-lo {
+					t.Errorf("client %d: status=%d accepted=%d want %d", c, status, accepted, hi-lo)
+					return
+				}
+				lo = hi
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Oracle over the union of initial and streamed edges.
+	uf := newUnionFind(n)
+	for _, e := range g.Edges() {
+		uf.union(int(e.U), int(e.V))
+	}
+	for _, e := range streamed {
+		uf.union(int(e.U), int(e.V))
+	}
+
+	// Every /connected answer must match the oracle.
+	for i := 0; i < 2000; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		var out struct {
+			Connected bool `json:"connected"`
+		}
+		if code := getJSON(t, fmt.Sprintf("%s/connected?u=%d&v=%d", ts.URL, u, v), &out); code != http.StatusOK {
+			t.Fatalf("connected status %d", code)
+		}
+		if want := uf.find(u) == uf.find(v); out.Connected != want {
+			t.Fatalf("connected(%d,%d) = %v, oracle %v", u, v, out.Connected, want)
+		}
+	}
+	// Endpoints of every streamed edge must read as connected.
+	for _, e := range streamed[:500] {
+		var out struct {
+			Connected bool `json:"connected"`
+		}
+		getJSON(t, fmt.Sprintf("%s/connected?u=%d&v=%d", ts.URL, e.U, e.V), &out)
+		if !out.Connected {
+			t.Fatalf("streamed edge {%d,%d} not connected", e.U, e.V)
+		}
+	}
+
+	// The /census must match the oracle exactly (sizes and count).
+	srv.Refresh()
+	oracleSizes := map[int]int{}
+	for v := 0; v < n; v++ {
+		oracleSizes[uf.find(v)]++
+	}
+	var census struct {
+		Vertices   int         `json:"vertices"`
+		Components int         `json:"components"`
+		Edges      int64       `json:"edges"`
+		Top        []Component `json:"top"`
+	}
+	if code := getJSON(t, ts.URL+"/census?top=1000000", &census); code != http.StatusOK {
+		t.Fatalf("census status %d", code)
+	}
+	if census.Vertices != n {
+		t.Fatalf("census vertices = %d, want %d", census.Vertices, n)
+	}
+	if census.Components != len(oracleSizes) {
+		t.Fatalf("census components = %d, oracle %d", census.Components, len(oracleSizes))
+	}
+	if want := g.NumEdges() + int64(len(streamed)); census.Edges != want {
+		t.Fatalf("census edges = %d, want %d", census.Edges, want)
+	}
+	gotSizes := map[int]int{} // size -> multiplicity
+	for _, c := range census.Top {
+		gotSizes[c.Size]++
+	}
+	wantSizes := map[int]int{}
+	for _, s := range oracleSizes {
+		wantSizes[s]++
+	}
+	for s, m := range wantSizes {
+		if gotSizes[s] != m {
+			t.Fatalf("census has %d components of size %d, oracle %d", gotSizes[s], s, m)
+		}
+	}
+
+	// /component sizes agree with the oracle too.
+	for i := 0; i < 200; i++ {
+		v := rng.Intn(n)
+		var out struct {
+			Size int `json:"size"`
+		}
+		getJSON(t, fmt.Sprintf("%s/component?v=%d", ts.URL, v), &out)
+		if want := oracleSizes[uf.find(v)]; out.Size != want {
+			t.Fatalf("component(%d) size = %d, oracle %d", v, out.Size, want)
+		}
+	}
+}
+
+// TestServeGracefulDrain verifies the shutdown contract: every edge a
+// client got a 200 for is reflected in the final state, even when Close
+// races the stream; late writes get 503, never silent loss.
+func TestServeGracefulDrain(t *testing.T) {
+	const n = 5000
+	srv := New(core.NewIncremental(n), 0, Config{BatchWindow: 2 * time.Millisecond, SnapshotEvery: -1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(31))
+	var mu sync.Mutex
+	var acked []graph.Edge
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			local := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < 200; i++ {
+				e := graph.Edge{U: graph.V(local.Intn(n)), V: graph.V(local.Intn(n))}
+				accepted, _, status := postEdges(t, client, ts.URL, []graph.Edge{e})
+				if status == http.StatusServiceUnavailable {
+					return // draining: rejection is the correct outcome
+				}
+				if status != http.StatusOK || accepted != 1 {
+					t.Errorf("client %d: status %d accepted %d", c, status, accepted)
+					return
+				}
+				mu.Lock()
+				acked = append(acked, e)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	// Let the stream run briefly, then close mid-flight.
+	time.Sleep(time.Duration(5+rng.Intn(10)) * time.Millisecond)
+	srv.Close()
+	wg.Wait()
+
+	// Every acknowledged edge must be connected in the drained state.
+	for _, e := range acked {
+		if e.U == e.V {
+			continue
+		}
+		var out struct {
+			Connected bool `json:"connected"`
+		}
+		if code := getJSON(t, fmt.Sprintf("%s/connected?u=%d&v=%d", ts.URL, e.U, e.V), &out); code != http.StatusOK {
+			t.Fatalf("connected status %d after drain", code)
+		}
+		if !out.Connected {
+			t.Fatalf("acked edge {%d,%d} lost in shutdown", e.U, e.V)
+		}
+	}
+	// The final snapshot's edge counter covers exactly the acked edges.
+	if got, want := srv.EdgesAccepted(), int64(len(acked)); got != want {
+		t.Fatalf("edges accepted = %d, want %d", got, want)
+	}
+	// Writes after Close are refused, not lost.
+	_, _, status := postEdges(t, &http.Client{}, ts.URL, []graph.Edge{{U: 1, V: 2}})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("post-Close write got %d, want 503", status)
+	}
+	srv.Close() // idempotent
+}
+
+// TestServeSnapshotPersistence: save a served graph, restore it, and
+// check the restored server answers identically and keeps streaming.
+func TestServeSnapshotPersistence(t *testing.T) {
+	g := gen.URandDegree(3000, 8, 13)
+	srv, err := Bootstrap(g, Config{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 5, V: 9}}
+	ts := httptest.NewServer(srv)
+	accepted, _, status := postEdges(t, &http.Client{}, ts.URL, extra)
+	if status != http.StatusOK || accepted != len(extra) {
+		t.Fatalf("stream failed: %d/%d", status, accepted)
+	}
+	ts.Close()
+	srv.Close()
+
+	path := filepath.Join(t.TempDir(), "pi.snap")
+	if err := srv.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(path, Config{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if restored.EdgesAccepted() != srv.EdgesAccepted() {
+		t.Fatalf("restored edges = %d, want %d", restored.EdgesAccepted(), srv.EdgesAccepted())
+	}
+	a, b := srv.Snapshot(), restored.Snapshot()
+	if a.NumComponents() != b.NumComponents() {
+		t.Fatalf("restored components = %d, want %d", b.NumComponents(), a.NumComponents())
+	}
+	for v := range a.Labels {
+		_, sa := a.ComponentOf(graph.V(v))
+		_, sb := b.ComponentOf(graph.V(v))
+		if sa != sb {
+			t.Fatalf("vertex %d: size %d vs restored %d", v, sa, sb)
+		}
+	}
+}
+
+func TestServeErrorPaths(t *testing.T) {
+	srv := New(core.NewIncremental(10), 0, Config{SnapshotEvery: -1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, url := range []string{
+		"/connected",           // missing params
+		"/connected?u=1",       // missing v
+		"/connected?u=1&v=999", // out of range
+		"/connected?u=-1&v=2",  // not a uint
+		"/component?v=10",      // out of range
+		"/census?top=-1",       // bad top
+	} {
+		var out map[string]any
+		if code := getJSON(t, ts.URL+url, &out); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, code)
+		}
+	}
+
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /edges status %d, want 405", resp.StatusCode)
+	}
+
+	// Bad bodies.
+	for _, body := range []string{
+		`{"u":1}`,                       // missing v
+		`{"u":1,"v":2,"edges":[[1,2]]}`, // both forms
+		`{"edges":[[1,99]]}`,            // out of range
+		`not json`,
+		`{"bogus":true}`,
+	} {
+		resp, err := http.Post(ts.URL+"/edges", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	var health map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz code=%d body=%v", code, health)
+	}
+}
+
+// TestServeStatsAndBatching checks the /stats counter set and that
+// concurrent single-edge posts actually coalesce into fewer batches.
+func TestServeStatsAndBatching(t *testing.T) {
+	srv := New(core.NewIncremental(1000), 0, Config{BatchWindow: 30 * time.Millisecond, SnapshotEvery: -1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const posts = 16
+	var wg sync.WaitGroup
+	for i := 0; i < posts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			postEdges(t, &http.Client{}, ts.URL, []graph.Edge{{U: graph.V(i), V: graph.V(i + 1)}})
+		}(i)
+	}
+	wg.Wait()
+
+	var out struct {
+		EdgesAccepted int64 `json:"edges_accepted"`
+		Requests      struct {
+			Edges int64 `json:"edges"`
+		} `json:"requests"`
+		Batching struct {
+			Batches      int64   `json:"batches"`
+			BatchedEdges int64   `json:"batched_edges"`
+			Merges       int64   `json:"merges"`
+			AvgBatch     float64 `json:"avg_batch"`
+		} `json:"batching"`
+		WriteLatency struct {
+			Count int64 `json:"count"`
+		} `json:"write_latency"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &out); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if out.EdgesAccepted != posts || out.Batching.BatchedEdges != posts {
+		t.Fatalf("accepted=%d batched=%d, want %d", out.EdgesAccepted, out.Batching.BatchedEdges, posts)
+	}
+	if out.Requests.Edges != posts || out.WriteLatency.Count != posts {
+		t.Fatalf("edge requests=%d latencies=%d, want %d", out.Requests.Edges, out.WriteLatency.Count, posts)
+	}
+	if out.Batching.Merges != posts { // a path: every edge merges
+		t.Fatalf("merges = %d, want %d", out.Batching.Merges, posts)
+	}
+	if out.Batching.Batches >= posts {
+		t.Fatalf("batches = %d for %d concurrent posts: no coalescing", out.Batching.Batches, posts)
+	}
+}
+
+// TestServePeriodicSnapshot: the background loop publishes fresh
+// snapshots without explicit Refresh calls.
+func TestServePeriodicSnapshot(t *testing.T) {
+	srv := New(core.NewIncremental(100), 0, Config{SnapshotEvery: 5 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	first := srv.Snapshot().Seq
+	postEdges(t, &http.Client{}, ts.URL, []graph.Edge{{U: 0, V: 1}})
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := srv.Snapshot()
+		if snap.Seq > first && snap.NumComponents() == 99 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("snapshot never refreshed: seq=%d components=%d",
+		srv.Snapshot().Seq, srv.Snapshot().NumComponents())
+}

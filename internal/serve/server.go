@@ -1,0 +1,473 @@
+// Package serve hosts a graph as a live connectivity service: the
+// paper's order-independent, lock-free link primitive (Theorem 1) means
+// a long-lived connectivity index can absorb concurrent edge insertions
+// and answer queries at any point without batch re-runs. The server
+// bootstraps labels with a full Afforest run over the initial graph,
+// then serves stdlib net/http JSON endpoints backed by the incremental
+// core:
+//
+//	GET  /connected?u=&v=   point connectivity (live, lock-free)
+//	GET  /component?v=      label + component size (snapshot)
+//	GET  /census?top=       component census (snapshot)
+//	POST /edges             insert edges, single or bulk (batched)
+//	GET  /stats             counters, QPS, latency percentiles
+//	GET  /healthz           liveness
+//
+// Writes coalesce into batches on the shared worker pool (edgeBatcher);
+// census-shaped reads go through a periodically refreshed copy-on-read
+// snapshot (Snapshot) so they never contend with the write path; Close
+// drains in-flight batches before returning; SaveSnapshot/Restore
+// persist π for restart-without-rebuild.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"afforest/internal/core"
+	"afforest/internal/graph"
+	"afforest/internal/stats"
+)
+
+// Config tunes a Server. The zero value is production-reasonable.
+type Config struct {
+	// BatchWindow is how long the write coalescer waits for more edges
+	// after the first pending submission (0 = default 1ms; negative =
+	// no waiting, flush whatever is queued).
+	BatchWindow time.Duration
+	// MaxBatch caps edges per coalesced batch (0 = default 8192).
+	MaxBatch int
+	// SnapshotEvery is the period of the census snapshot refresh
+	// (0 = default 250ms; negative = only on demand via Refresh).
+	SnapshotEvery time.Duration
+	// Parallelism bounds worker goroutines for batch links and
+	// snapshot building (0 = GOMAXPROCS).
+	Parallelism int
+	// LatencyWindow is the per-class latency ring size
+	// (0 = stats.DefaultLatencyWindow).
+	LatencyWindow int
+	// Afforest configures the bootstrap run (zero value = defaults).
+	Afforest core.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchWindow == 0 {
+		c.BatchWindow = time.Millisecond
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8192
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Server hosts one graph's connectivity. It implements http.Handler.
+type Server struct {
+	cfg Config
+	inc *core.Incremental
+	mux *http.ServeMux
+
+	snap    atomic.Pointer[Snapshot]
+	snapSeq atomic.Uint64
+	snapMu  sync.Mutex // serializes Refresh (seq/publication order)
+
+	batcher *edgeBatcher
+	writeMu sync.RWMutex // guards closed vs. in-flight enqueues
+	closed  bool
+
+	edges atomic.Int64 // accepted edges (initial graph + streamed)
+
+	stopSnap chan struct{}
+	snapDone chan struct{}
+
+	started  time.Time
+	counts   counters
+	readLat  *stats.LatencyRecorder
+	writeLat *stats.LatencyRecorder
+}
+
+// counters is the expvar-style counter set surfaced by /stats.
+type counters struct {
+	connected atomic.Int64
+	component atomic.Int64
+	census    atomic.Int64
+	edges     atomic.Int64
+	stats     atomic.Int64
+	healthz   atomic.Int64
+	bad       atomic.Int64 // 4xx responses
+	rejected  atomic.Int64 // writes refused during shutdown
+	snapshots atomic.Int64
+}
+
+func (c *counters) total() int64 {
+	return c.connected.Load() + c.component.Load() + c.census.Load() +
+		c.edges.Load() + c.stats.Load() + c.healthz.Load()
+}
+
+// New wraps an existing incremental structure. bootEdges seeds the
+// accepted-edge counter (the number of edges already reflected in inc).
+func New(inc *core.Incremental, bootEdges int64, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		inc:      inc,
+		mux:      http.NewServeMux(),
+		stopSnap: make(chan struct{}),
+		snapDone: make(chan struct{}),
+		started:  time.Now(),
+		readLat:  stats.NewLatencyRecorder(cfg.LatencyWindow),
+		writeLat: stats.NewLatencyRecorder(cfg.LatencyWindow),
+	}
+	s.edges.Store(bootEdges)
+	// The batcher bumps s.edges inside flush, before replying, so the
+	// post-drain snapshot's edge count is exact.
+	s.batcher = newEdgeBatcher(inc, cfg.BatchWindow, cfg.MaxBatch, cfg.Parallelism, &s.edges)
+	s.mux.HandleFunc("GET /connected", s.handleConnected)
+	s.mux.HandleFunc("GET /component", s.handleComponent)
+	s.mux.HandleFunc("GET /census", s.handleCensus)
+	s.mux.HandleFunc("POST /edges", s.handleEdges)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.Refresh()
+	go s.snapshotLoop()
+	return s
+}
+
+// Bootstrap runs the full batch Afforest algorithm over g, restores an
+// incremental structure from the resulting labels, and serves it. This
+// is the fast path for cold starts with a known initial graph: the
+// batch run (sampling + skipping) is much faster than streaming g's
+// edges one by one.
+func Bootstrap(g *graph.CSR, cfg Config) (*Server, error) {
+	opt := cfg.Afforest
+	if opt == (core.Options{}) {
+		opt = core.DefaultOptions()
+	}
+	if opt.Parallelism == 0 {
+		opt.Parallelism = cfg.Parallelism
+	}
+	p := core.Run(g, opt)
+	inc, err := core.RestoreIncremental(p.Labels())
+	if err != nil {
+		return nil, fmt.Errorf("serve: bootstrap labels invalid: %w", err)
+	}
+	return New(inc, g.NumEdges(), cfg), nil
+}
+
+// Restore loads a label snapshot persisted by SaveSnapshot and serves
+// it — restart-without-rebuild.
+func Restore(path string, cfg Config) (*Server, error) {
+	labels, edges, err := graph.LoadLabelSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	inc, err := core.RestoreIncremental(labels)
+	if err != nil {
+		return nil, err
+	}
+	return New(inc, edges, cfg), nil
+}
+
+// SaveSnapshot persists the current labeling and accepted-edge count to
+// path. Call after Close for a consistent shutdown snapshot, or any
+// time for a fuzzy online one (edges racing the cut may be missed).
+func (s *Server) SaveSnapshot(path string) error {
+	labels := s.inc.Snapshot(s.cfg.Parallelism)
+	return graph.SaveLabelSnapshot(path, labels, s.edges.Load())
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// NumVertices returns the served graph's vertex count.
+func (s *Server) NumVertices() int { return s.inc.NumVertices() }
+
+// EdgesAccepted returns the total accepted edge count.
+func (s *Server) EdgesAccepted() int64 { return s.edges.Load() }
+
+// Refresh cuts and publishes a fresh snapshot immediately.
+func (s *Server) Refresh() *Snapshot {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	labels := s.inc.Snapshot(s.cfg.Parallelism)
+	snap := buildSnapshot(labels, s.snapSeq.Add(1), s.edges.Load(), s.cfg.Parallelism)
+	s.snap.Store(snap)
+	s.counts.snapshots.Add(1)
+	return snap
+}
+
+// Snapshot returns the currently published snapshot.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+func (s *Server) snapshotLoop() {
+	defer close(s.snapDone)
+	if s.cfg.SnapshotEvery < 0 {
+		<-s.stopSnap
+		return
+	}
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.Refresh()
+		case <-s.stopSnap:
+			return
+		}
+	}
+}
+
+// Close shuts the server down gracefully: new writes are refused with
+// 503, every submission already accepted onto the batch queue is
+// flushed (no accepted edge is ever lost), and the snapshot loop stops.
+// Read handlers keep working after Close; stop routing traffic at the
+// http.Server level. Close is idempotent.
+func (s *Server) Close() {
+	s.writeMu.Lock()
+	already := s.closed
+	s.closed = true
+	s.writeMu.Unlock()
+	if already {
+		return
+	}
+	// No enqueue can be in flight here: enqueues hold writeMu.RLock and
+	// re-check closed, so closing the channel is race-free and flushes
+	// the tail of the queue.
+	close(s.batcher.submit)
+	<-s.batcher.done
+	close(s.stopSnap)
+	<-s.snapDone
+	s.Refresh() // final snapshot reflects every drained batch
+}
+
+// enqueue hands edges to the batcher unless the server is draining.
+func (s *Server) enqueue(edges []graph.Edge) (submitResult, bool) {
+	sub := &submission{edges: edges, reply: make(chan submitResult, 1)}
+	s.writeMu.RLock()
+	if s.closed {
+		s.writeMu.RUnlock()
+		return submitResult{}, false
+	}
+	s.batcher.submit <- sub
+	s.writeMu.RUnlock()
+	return <-sub.reply, true
+}
+
+// --- handlers ---
+
+func (s *Server) httpError(w http.ResponseWriter, code int, msg string) {
+	s.counts.bad.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// vertexParam parses a vertex query parameter and range-checks it.
+func (s *Server) vertexParam(r *http.Request, name string) (graph.V, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	x, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad vertex %q: %v", raw, err)
+	}
+	if x >= uint64(s.inc.NumVertices()) {
+		return 0, fmt.Errorf("vertex %d out of range (|V|=%d)", x, s.inc.NumVertices())
+	}
+	return graph.V(x), nil
+}
+
+func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.counts.connected.Add(1)
+	u, err := s.vertexParam(r, "u")
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	v, err := s.vertexParam(r, "v")
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{
+		"u": u, "v": v,
+		"connected": s.inc.Connected(u, v),
+	})
+	s.readLat.Observe(time.Since(start))
+}
+
+func (s *Server) handleComponent(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.counts.component.Add(1)
+	v, err := s.vertexParam(r, "v")
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	snap := s.snap.Load()
+	label, size := snap.ComponentOf(v)
+	writeJSON(w, map[string]any{
+		"v": v, "label": label, "size": size,
+		"snapshot_seq":    snap.Seq,
+		"snapshot_age_ms": time.Since(snap.TakenAt).Milliseconds(),
+	})
+	s.readLat.Observe(time.Since(start))
+}
+
+func (s *Server) handleCensus(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.counts.census.Add(1)
+	top := 10
+	if raw := r.URL.Query().Get("top"); raw != "" {
+		k, err := strconv.Atoi(raw)
+		if err != nil || k < 0 {
+			s.httpError(w, http.StatusBadRequest, fmt.Sprintf("bad top %q", raw))
+			return
+		}
+		top = k
+	}
+	snap := s.snap.Load()
+	census := snap.Census
+	if len(census) > top {
+		census = census[:top]
+	}
+	writeJSON(w, map[string]any{
+		"vertices":        len(snap.Labels),
+		"components":      snap.NumComponents(),
+		"edges":           snap.Edges,
+		"top":             census,
+		"snapshot_seq":    snap.Seq,
+		"snapshot_age_ms": time.Since(snap.TakenAt).Milliseconds(),
+	})
+	s.readLat.Observe(time.Since(start))
+}
+
+// edgesRequest is the POST /edges body: either a single edge
+// {"u":1,"v":2} or a bulk batch {"edges":[[1,2],[3,4],...]}.
+type edgesRequest struct {
+	U     *uint32     `json:"u"`
+	V     *uint32     `json:"v"`
+	Edges [][2]uint32 `json:"edges"`
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.counts.edges.Add(1)
+	var req edgesRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad body: "+err.Error())
+		return
+	}
+	var edges []graph.Edge
+	switch {
+	case req.Edges != nil:
+		if req.U != nil || req.V != nil {
+			s.httpError(w, http.StatusBadRequest, `provide either "u"/"v" or "edges", not both`)
+			return
+		}
+		edges = make([]graph.Edge, len(req.Edges))
+		for i, e := range req.Edges {
+			edges[i] = graph.Edge{U: e[0], V: e[1]}
+		}
+	case req.U != nil && req.V != nil:
+		edges = []graph.Edge{{U: *req.U, V: *req.V}}
+	default:
+		s.httpError(w, http.StatusBadRequest, `provide "u" and "v", or "edges"`)
+		return
+	}
+	n := uint32(s.inc.NumVertices())
+	for _, e := range edges {
+		if e.U >= n || e.V >= n {
+			s.httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("edge {%d,%d} out of range (|V|=%d)", e.U, e.V, n))
+			return
+		}
+	}
+	res, ok := s.enqueue(edges)
+	if !ok {
+		s.counts.rejected.Add(1)
+		s.httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	writeJSON(w, map[string]any{
+		"accepted": res.accepted,
+		"merged":   res.merged,
+	})
+	s.writeLat.Observe(time.Since(start))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.counts.stats.Add(1)
+	uptime := time.Since(s.started)
+	total := s.counts.total()
+	qps := 0.0
+	if sec := uptime.Seconds(); sec > 0 {
+		qps = float64(total) / sec
+	}
+	batches := s.batcher.batches.Load()
+	batched := s.batcher.batchedEdges.Load()
+	avgBatch := 0.0
+	if batches > 0 {
+		avgBatch = float64(batched) / float64(batches)
+	}
+	snap := s.snap.Load()
+	writeJSON(w, map[string]any{
+		"uptime_seconds": uptime.Seconds(),
+		"vertices":       s.inc.NumVertices(),
+		"components":     s.inc.NumComponents(),
+		"edges_accepted": s.edges.Load(),
+		"qps":            qps,
+		"requests": map[string]int64{
+			"connected": s.counts.connected.Load(),
+			"component": s.counts.component.Load(),
+			"census":    s.counts.census.Load(),
+			"edges":     s.counts.edges.Load(),
+			"stats":     s.counts.stats.Load(),
+			"healthz":   s.counts.healthz.Load(),
+			"bad":       s.counts.bad.Load(),
+			"rejected":  s.counts.rejected.Load(),
+		},
+		"read_latency":  s.readLat.Summary(),
+		"write_latency": s.writeLat.Summary(),
+		"batching": map[string]any{
+			"batches":       batches,
+			"batched_edges": batched,
+			"merges":        s.batcher.merges.Load(),
+			"max_batch":     s.batcher.maxSeen.Load(),
+			"avg_batch":     avgBatch,
+		},
+		"snapshot": map[string]any{
+			"seq":        snap.Seq,
+			"age_ms":     time.Since(snap.TakenAt).Milliseconds(),
+			"components": snap.NumComponents(),
+			"taken":      s.counts.snapshots.Load(),
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.counts.healthz.Add(1)
+	writeJSON(w, map[string]any{
+		"status":     "ok",
+		"vertices":   s.inc.NumVertices(),
+		"components": s.inc.NumComponents(),
+	})
+}

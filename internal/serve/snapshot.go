@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"sort"
+	"time"
+
+	"afforest/internal/concurrent"
+	"afforest/internal/graph"
+)
+
+// Snapshot is an immutable point-in-time view of the served graph's
+// component structure. The server publishes one through an atomic
+// pointer; census and component-size queries read whichever snapshot is
+// current with zero coordination against the write path (copy-on-read:
+// the snapshot's slices are owned copies, never mutated after
+// publication). Connectivity truth for /connected comes from the live
+// structure instead — point lookups there are cheap and always fresh.
+type Snapshot struct {
+	// Seq increments with every snapshot taken over the server's
+	// lifetime; responses carry it so clients can reason about
+	// staleness across endpoints.
+	Seq uint64
+	// Labels is the compressed component labeling (labels[v] == labels[u]
+	// iff u, v were connected when the snapshot was cut).
+	Labels []graph.V
+	// Sizes maps a component label to its vertex count (indexed by
+	// label; labels are always vertex ids, so the array is dense).
+	Sizes []int32
+	// Census lists every component, largest first (ties by label).
+	Census []Component
+	// Edges is the accepted-edge count when the snapshot was cut.
+	Edges int64
+	// TakenAt stamps the cut for age reporting.
+	TakenAt time.Time
+}
+
+// Component is one census entry.
+type Component struct {
+	Label graph.V `json:"label"`
+	Size  int     `json:"size"`
+}
+
+// NumComponents returns the component count at snapshot time.
+func (s *Snapshot) NumComponents() int { return len(s.Census) }
+
+// ComponentOf returns v's label and component size at snapshot time.
+func (s *Snapshot) ComponentOf(v graph.V) (label graph.V, size int) {
+	label = s.Labels[v]
+	return label, int(s.Sizes[label])
+}
+
+// buildSnapshot derives the census from a compressed labeling. Labels
+// are vertex ids (< n), so counting uses a flat per-worker array merged
+// by a parallel reduction over the label space — the same discipline as
+// the batch Result census.
+func buildSnapshot(labels []graph.V, seq uint64, edges int64, parallelism int) *Snapshot {
+	n := len(labels)
+	snap := &Snapshot{Seq: seq, Labels: labels, Edges: edges, TakenAt: time.Now()}
+	if n == 0 {
+		return snap
+	}
+	workers := concurrent.Procs(parallelism)
+	perWorker := make([][]int32, workers)
+	concurrent.ForRange(n, parallelism, 4096, func(lo, hi, w int) {
+		counts := perWorker[w]
+		if counts == nil {
+			counts = make([]int32, n)
+			perWorker[w] = counts
+		}
+		for _, l := range labels[lo:hi] {
+			counts[l]++
+		}
+	})
+	total := perWorker[0]
+	if total == nil {
+		total = make([]int32, n)
+	}
+	parts := make([][]Component, workers)
+	concurrent.ForRange(n, parallelism, 4096, func(lo, hi, w int) {
+		for _, counts := range perWorker[1:] {
+			if counts == nil {
+				continue
+			}
+			for i := lo; i < hi; i++ {
+				total[i] += counts[i]
+			}
+		}
+		local := parts[w]
+		for i := lo; i < hi; i++ {
+			if total[i] > 0 {
+				local = append(local, Component{Label: graph.V(i), Size: int(total[i])})
+			}
+		}
+		parts[w] = local
+	})
+	var census []Component
+	for _, part := range parts {
+		census = append(census, part...)
+	}
+	sort.Slice(census, func(i, j int) bool {
+		if census[i].Size != census[j].Size {
+			return census[i].Size > census[j].Size
+		}
+		return census[i].Label < census[j].Label
+	})
+	snap.Sizes = total
+	snap.Census = census
+	return snap
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"sync"
+	"time"
+)
+
+// LatencyRecorder accumulates request latencies for online percentile
+// reporting (the serve layer's /stats endpoint). It keeps a fixed-size
+// ring of the most recent observations — percentiles are over that
+// sliding window, which is what an operator wants from a live service
+// (old traffic should age out) — plus lifetime count and sum. Observe
+// is a mutex-guarded store; at serving rates the window stays hot in
+// cache and the lock is uncontended relative to the handler work around
+// it.
+type LatencyRecorder struct {
+	mu    sync.Mutex
+	ring  []float64 // nanoseconds, most recent window
+	next  int       // ring write cursor
+	count int64     // lifetime observations
+	sum   float64   // lifetime nanoseconds
+}
+
+// DefaultLatencyWindow is the ring capacity NewLatencyRecorder uses
+// when given a non-positive capacity.
+const DefaultLatencyWindow = 4096
+
+// NewLatencyRecorder returns a recorder retaining the last `window`
+// observations (<= 0 means DefaultLatencyWindow).
+func NewLatencyRecorder(window int) *LatencyRecorder {
+	if window <= 0 {
+		window = DefaultLatencyWindow
+	}
+	return &LatencyRecorder{ring: make([]float64, 0, window)}
+}
+
+// Observe records one latency sample. Safe for concurrent use.
+func (r *LatencyRecorder) Observe(d time.Duration) {
+	ns := float64(d)
+	r.mu.Lock()
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, ns)
+	} else {
+		r.ring[r.next] = ns
+	}
+	r.next++
+	if r.next == cap(r.ring) {
+		r.next = 0
+	}
+	r.count++
+	r.sum += ns
+	r.mu.Unlock()
+}
+
+// Count returns the lifetime number of observations.
+func (r *LatencyRecorder) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// LatencySummary is a point-in-time percentile digest of a recorder's
+// retained window.
+type LatencySummary struct {
+	Count  int64         `json:"count"` // lifetime observations
+	Mean   time.Duration `json:"mean"`  // lifetime mean
+	P50    time.Duration `json:"p50"`   // window percentiles
+	P90    time.Duration `json:"p90"`
+	P99    time.Duration `json:"p99"`
+	Max    time.Duration `json:"max"` // window max
+	Window int           `json:"window_size"`
+}
+
+// Summary digests the current state: lifetime count/mean plus
+// p50/p90/p99/max over the retained window. Zero-valued if nothing has
+// been observed.
+func (r *LatencyRecorder) Summary() LatencySummary {
+	r.mu.Lock()
+	window := append([]float64(nil), r.ring...)
+	count, sum := r.count, r.sum
+	r.mu.Unlock()
+	s := LatencySummary{Count: count, Window: len(window)}
+	if count == 0 {
+		return s
+	}
+	s.Mean = time.Duration(sum / float64(count))
+	s.P50 = time.Duration(Percentile(window, 50))
+	s.P90 = time.Duration(Percentile(window, 90))
+	s.P99 = time.Duration(Percentile(window, 99))
+	max := window[0]
+	for _, x := range window[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	s.Max = time.Duration(max)
+	return s
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyRecorderEmpty(t *testing.T) {
+	r := NewLatencyRecorder(16)
+	s := r.Summary()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestLatencyRecorderPercentiles(t *testing.T) {
+	r := NewLatencyRecorder(1000)
+	for i := 1; i <= 100; i++ {
+		r.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Summary()
+	if s.Count != 100 || s.Window != 100 {
+		t.Fatalf("count=%d window=%d, want 100/100", s.Count, s.Window)
+	}
+	if s.P50 < 50*time.Millisecond || s.P50 > 51*time.Millisecond {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.P99 < 99*time.Millisecond || s.P99 > 100*time.Millisecond {
+		t.Fatalf("p99 = %v", s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+	if s.Mean < 50*time.Millisecond || s.Mean > 51*time.Millisecond {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestLatencyRecorderWindowSlides(t *testing.T) {
+	r := NewLatencyRecorder(10)
+	for i := 0; i < 90; i++ {
+		r.Observe(time.Hour) // ancient, should age out
+	}
+	for i := 0; i < 10; i++ {
+		r.Observe(time.Millisecond)
+	}
+	s := r.Summary()
+	if s.Count != 100 {
+		t.Fatalf("lifetime count = %d, want 100", s.Count)
+	}
+	if s.Max != time.Millisecond {
+		t.Fatalf("window max = %v, old samples did not age out", s.Max)
+	}
+}
+
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	r := NewLatencyRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Observe(time.Microsecond)
+				if i%100 == 0 {
+					r.Summary()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Count(); got != 4000 {
+		t.Fatalf("count = %d, want 4000", got)
+	}
+}
