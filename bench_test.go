@@ -14,12 +14,15 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"afforest/internal/baselines"
 	"afforest/internal/bench"
+	"afforest/internal/concurrent"
 	"afforest/internal/core"
 	"afforest/internal/gen"
 	"afforest/internal/graph"
+	"afforest/internal/obs"
 )
 
 // benchCfg keeps bench runs laptop-fast while preserving every shape.
@@ -149,6 +152,122 @@ func BenchmarkAfforestNoSkipURand(b *testing.B) {
 // scale as the afforest/kron cell of BENCH_afforest.json.
 func BenchmarkAfforestKron18(b *testing.B) {
 	benchAlgorithmOn(b, suiteGraphAt("kron", 18), afforestRun)
+}
+
+// BenchmarkAfforestObserved is BenchmarkAfforestKron18 with a live
+// tracer and metrics registry attached — the fully instrumented path.
+// Comparing its ns/edge against the Kron18 anchor shows what phase
+// observation costs (per-phase span bookkeeping, never per-edge work).
+func BenchmarkAfforestObserved(b *testing.B) {
+	benchAlgorithmOn(b, suiteGraphAt("kron", 18), func(g *graph.CSR, p int) []graph.V {
+		reg := obs.NewRegistry()
+		opt := core.DefaultOptions()
+		opt.Parallelism = p
+		opt.Observer = obs.Multi(obs.NewTracer(), obs.NewRunMetrics(reg))
+		return opt2labels(g, opt)
+	})
+}
+
+// baselineAfforest is a frozen copy of Run's uninstrumented phase
+// loops, composed from the same exported primitives, with no Observer
+// nil-check anywhere. TestNilObserverOverheadGuard times Run (nil
+// Observer) against it to pin that adding observability cost the
+// unobserved path nothing.
+func baselineAfforest(g *graph.CSR, opt core.Options) core.Parent {
+	n := g.NumVertices()
+	p := core.NewParent(n)
+	if n == 0 {
+		return p
+	}
+	rounds := 2
+	offsets, targets := g.Adjacency(0, n)
+	for r := 0; r < rounds; r++ {
+		rr := int64(r)
+		concurrent.ForRange(n, opt.Parallelism, 512, func(lo, hi, _ int) {
+			for u := lo; u < hi; u++ {
+				if k := offsets[u] + rr; k < offsets[u+1] {
+					core.Link(p, graph.V(u), targets[k])
+				}
+			}
+		})
+		core.CompressAll(p, opt.Parallelism)
+	}
+	c := core.SampleFrequentElement(p, 1024, opt.Seed)
+	skipArcs := int64(rounds)
+	concurrent.ForEdgeRange(offsets, opt.Parallelism, opt.EdgeGrain, func(vlo, vhi int, alo, ahi int64, _ int) {
+		for u := vlo; u < vhi; u++ {
+			lo, hi := offsets[u]+skipArcs, offsets[u+1]
+			if lo < alo {
+				lo = alo
+			}
+			if hi > ahi {
+				hi = ahi
+			}
+			if lo >= hi {
+				continue
+			}
+			uu := graph.V(u)
+			if p.Get(uu) == c {
+				continue
+			}
+			for _, v := range targets[lo:hi] {
+				core.Link(p, uu, v)
+			}
+		}
+	})
+	core.CompressAll(p, opt.Parallelism)
+	return p
+}
+
+// TestNilObserverOverheadGuard is the regression tripwire for the
+// observability hooks: core.Run with a nil Observer must stay within 2%
+// ns/edge of the frozen baseline above. Min-of-N interleaved timing
+// discards scheduler noise (the minimum of repeated runs estimates the
+// noise-free cost); on a breach the sample count escalates before
+// declaring failure, since CI machines are shared and slow.
+func TestNilObserverOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive guard skipped in -short mode")
+	}
+	g := suiteGraphAt("kron", 16)()
+	opt := core.DefaultOptions()
+
+	measure := func(reps int) (minRun, minBase time.Duration) {
+		minRun, minBase = time.Duration(1<<62), time.Duration(1<<62)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			core.Run(g, opt)
+			if d := time.Since(start); d < minRun {
+				minRun = d
+			}
+			start = time.Now()
+			baselineAfforest(g, opt)
+			if d := time.Since(start); d < minBase {
+				minBase = d
+			}
+		}
+		return minRun, minBase
+	}
+
+	// Warm the page cache and the pool's workers before timing.
+	core.Run(g, opt)
+	baselineAfforest(g, opt)
+
+	reps := 10
+	for attempt := 0; ; attempt++ {
+		minRun, minBase := measure(reps)
+		ratio := float64(minRun) / float64(minBase)
+		if ratio <= 1.02 {
+			t.Logf("nil-Observer overhead: %.2f%% (run %v vs baseline %v, %d reps)",
+				(ratio-1)*100, minRun, minBase, reps)
+			return
+		}
+		if attempt == 2 {
+			t.Fatalf("nil-Observer Run is %.2f%% slower than the uninstrumented baseline (%v vs %v after %d reps); the 2%% overhead budget is breached",
+				(ratio-1)*100, minRun, minBase, reps)
+		}
+		reps *= 2 // noisy box: sharpen the minimum and try again
+	}
 }
 
 func BenchmarkSVRoad(b *testing.B)    { benchAlgorithmOn(b, suiteGraph("road"), baselines.SV) }

@@ -10,15 +10,18 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"afforest"
+	"afforest/internal/core"
 	"afforest/internal/gen"
 	"afforest/internal/graph"
 	"afforest/internal/memtrace"
+	"afforest/internal/obs"
 )
 
 func main() {
@@ -35,7 +38,8 @@ func main() {
 		repeat   = flag.Int("repeat", 1, "timed repetitions (reports each)")
 		validate = flag.Bool("validate", false, "validate the labeling against a sequential oracle")
 		topK     = flag.Int("top", 5, "print the K largest component sizes")
-		trace    = flag.String("trace", "", "write a Fig 7-style π access trace (TSV) to this path and print the heat-map (afforest algorithms only)")
+		memTrace = flag.String("memtrace", "", "write a Fig 7-style π access trace (TSV) to this path and print the heat-map (afforest algorithms only)")
+		trace    = flag.String("trace", "", "write the run's phase tree as JSON lines to this path and print the per-phase breakdown (afforest algorithms only)")
 	)
 	flag.Parse()
 
@@ -46,8 +50,15 @@ func main() {
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
+	if *memTrace != "" {
+		if err := writeTrace(*in, *genName, *n, *scale, *deg, *seed, *algoName, *rounds, *memTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "afforest:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *trace != "" {
-		if err := writeTrace(*in, *genName, *n, *scale, *deg, *seed, *algoName, *rounds, *trace); err != nil {
+		if err := writePhaseTrace(*in, *genName, *n, *scale, *deg, *seed, *algoName, *rounds, *par, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "afforest:", err)
 			os.Exit(1)
 		}
@@ -123,6 +134,53 @@ func writeTrace(in, genName string, n, scale, deg int, seed uint64, algoName str
 	fmt.Printf("trace: %d accesses written to %s\n", len(tr.Accesses), path)
 	fmt.Print(tr.BuildHeatmap(24, 72).Render())
 	return nil
+}
+
+// writePhaseTrace runs the core algorithm with a span tracer attached,
+// writes the phase tree as JSON lines, and prints the per-phase
+// breakdown table.
+func writePhaseTrace(in, genName string, n, scale, deg int, seed uint64, algoName string, rounds, par int, path string) error {
+	g, err := loadOrGenerateCSR(in, genName, n, scale, deg, seed)
+	if err != nil {
+		return err
+	}
+	var skip bool
+	switch algoName {
+	case "afforest":
+		skip = true
+	case "afforest-noskip":
+		skip = false
+	default:
+		return fmt.Errorf("-trace supports afforest | afforest-noskip, not %q", algoName)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	// Buffer the sink: span emission between phases must not put a write
+	// syscall on the run's critical path.
+	bw := bufio.NewWriter(f)
+	tracer := obs.NewTracer(obs.NewJSONLSink(bw))
+	start := time.Now()
+	core.Run(g, core.Options{
+		NeighborRounds: rounds,
+		SkipLargest:    skip,
+		Parallelism:    par,
+		Seed:           seed,
+		Observer:       tracer,
+	})
+	elapsed := time.Since(start)
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rep := tracer.Report()
+	fmt.Printf("trace: %d spans written to %s (run %v)\n",
+		len(rep.Spans), path, elapsed.Round(time.Microsecond))
+	return rep.WriteBreakdown(os.Stdout)
 }
 
 func loadOrGenerate(in, genName string, n, scale, deg int, seed uint64) (*afforest.Graph, error) {

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"afforest"
+	"afforest/internal/obs"
 )
 
 func TestLoadOrGenerateGenerators(t *testing.T) {
@@ -114,5 +117,69 @@ func TestWriteTraceModes(t *testing.T) {
 	}
 	if err := writeTrace("", "", 100, 0, 4, 1, "sv", 0, filepath.Join(dir, "y.tsv")); err == nil {
 		t.Fatal("missing graph source accepted")
+	}
+}
+
+// TestWritePhaseTrace runs the -trace path end to end on a generated
+// graph and checks the JSONL phase tree: exactly one root span, the
+// expected leaf phases under it, and leaf durations summing to nearly
+// all of the root's wall time (the acceptance criterion is 5% at real
+// scale; small graphs get a looser floor since fixed per-phase costs
+// loom larger).
+func TestWritePhaseTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	if err := writePhaseTrace("", "kron", 0, 12, 8, 7, "afforest", 0, 0, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []obs.Span
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var s obs.Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		spans = append(spans, s)
+	}
+	var rootNS, leafNS int64
+	roots := 0
+	leaves := map[string]int{}
+	parents := map[obs.SpanID]bool{}
+	for _, s := range spans {
+		parents[s.Parent] = true
+	}
+	for _, s := range spans {
+		if s.Parent == -1 {
+			roots++
+			rootNS = s.DurNS
+		} else if !parents[s.ID] {
+			leaves[s.Name]++
+			leafNS += s.DurNS
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("got %d roots, want 1", roots)
+	}
+	for name, want := range map[string]int{
+		"neighbor_round": 2, "compress": 2,
+		"sample_frequent": 1, "final_skip_pass": 1, "final_compress": 1,
+	} {
+		if leaves[name] != want {
+			t.Errorf("leaf %q appears %d times, want %d (leaves: %v)", name, leaves[name], want, leaves)
+		}
+	}
+	if cover := float64(leafNS) / float64(rootNS); cover < 0.5 || cover > 1.0 {
+		t.Errorf("leaf coverage = %.1f%% of root wall time, want within (50%%, 100%%]", cover*100)
+	}
+
+	if err := writePhaseTrace("", "urand", 200, 0, 4, 1, "sv", 0, 0, filepath.Join(dir, "z.jsonl")); err == nil {
+		t.Fatal("phase trace accepted an algorithm without phase hooks")
+	}
+	if err := writePhaseTrace("", "", 200, 0, 4, 1, "afforest", 0, 0, filepath.Join(dir, "w.jsonl")); err == nil {
+		t.Fatal("phase trace accepted a missing graph source")
 	}
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,9 @@ import (
 	"time"
 
 	"afforest/internal/bench"
+	"afforest/internal/core"
+	"afforest/internal/gen"
+	"afforest/internal/obs"
 	"afforest/internal/stats"
 )
 
@@ -32,10 +36,19 @@ func main() {
 		par      = flag.Int("p", 0, "parallelism (0 = GOMAXPROCS)")
 		validate = flag.Bool("validate", true, "validate every labeling against the oracle")
 		tsv      = flag.Bool("tsv", false, "emit TSV instead of aligned tables")
+		trace    = flag.String("trace", "", "run one traced Afforest pass at -scale, write the phase tree (JSONL) here, print the breakdown, and exit")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Runs: *runs, Seed: *seed, Parallelism: *par, Validate: *validate}
+
+	if *trace != "" {
+		if err := tracedRun(*scale, *seed, *par, *trace); err != nil {
+			fmt.Fprintln(os.Stderr, "ccbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	type experiment struct {
 		name string
@@ -105,4 +118,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\n", *exp)
 		os.Exit(1)
 	}
+}
+
+// tracedRun executes one Afforest pass over the benchmark Kronecker
+// graph with the span tracer attached — the quick "where does the time
+// go" companion to the figure experiments.
+func tracedRun(scale int, seed uint64, par int, path string) error {
+	if scale == 0 {
+		scale = 16
+	}
+	g := gen.Kronecker(scale, 16, gen.Graph500, seed)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	tracer := obs.NewTracer(obs.NewJSONLSink(bw))
+	opt := core.DefaultOptions()
+	opt.Parallelism = par
+	opt.Seed = seed
+	opt.Observer = tracer
+	core.Run(g, opt)
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rep := tracer.Report()
+	fmt.Printf("kron scale %d: %d vertices, %d edges; %d spans written to %s\n",
+		scale, g.NumVertices(), g.NumEdges(), len(rep.Spans), path)
+	return rep.WriteBreakdown(os.Stdout)
 }

@@ -31,6 +31,7 @@ type loadReport struct {
 	Writes      int64
 	Edges       int64 // edges submitted across all writes
 	Errors      int64
+	Scrapes     int64          // successful /metrics scrapes during the run
 	ServerStats map[string]any // decoded /stats at the end of the run
 }
 
@@ -39,11 +40,11 @@ func (r loadReport) ops() int64 { return r.Reads + r.Writes }
 func (r loadReport) String() string {
 	sec := r.Elapsed.Seconds()
 	return fmt.Sprintf(
-		"loadtest: %d ops in %v (%.0f ops/s): %d reads (%.0f/s), %d writes (%.0f/s, %d edges, %.0f edges/s), %d errors",
+		"loadtest: %d ops in %v (%.0f ops/s): %d reads (%.0f/s), %d writes (%.0f/s, %d edges, %.0f edges/s), %d errors, %d metric scrapes",
 		r.ops(), r.Elapsed.Round(time.Millisecond), float64(r.ops())/sec,
 		r.Reads, float64(r.Reads)/sec,
 		r.Writes, float64(r.Writes)/sec, r.Edges, float64(r.Edges)/sec,
-		r.Errors)
+		r.Errors, r.Scrapes)
 }
 
 // loadtestMain resolves the target (spinning up an in-process server
@@ -115,10 +116,33 @@ func runLoadtest(target string, lc loadConfig) (loadReport, error) {
 		return loadReport{}, fmt.Errorf("target serves %d vertices; need at least 2", n)
 	}
 
-	var reads, writes, edges, errs atomic.Int64
+	var reads, writes, edges, errs, scrapes atomic.Int64
 	start := time.Now()
 	deadline := start.Add(lc.Duration)
 	var wg sync.WaitGroup
+
+	// One scraper goroutine polls GET /metrics throughout the run — the
+	// exposition encoder is continuously exercised while every counter
+	// and histogram it reads is being hammered, which is exactly the
+	// concurrent-scrape regime the obs registry is built for.
+	stopScrape := make(chan struct{})
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		client := &http.Client{}
+		t := time.NewTicker(100 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopScrape:
+				return
+			case <-t.C:
+				if err := drainGet(client, target+"/metrics"); err == nil {
+					scrapes.Add(1)
+				}
+			}
+		}
+	}()
 	for c := 0; c < lc.Clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -165,12 +189,15 @@ func runLoadtest(target string, lc loadConfig) (loadReport, error) {
 		}(c)
 	}
 	wg.Wait()
+	close(stopScrape)
+	<-scrapeDone
 	report := loadReport{
 		Elapsed: time.Since(start), // configured duration + drain of the last in-flight requests
 		Reads:   reads.Load(),
 		Writes:  writes.Load(),
 		Edges:   edges.Load(),
 		Errors:  errs.Load(),
+		Scrapes: scrapes.Load(),
 	}
 	var stats map[string]any
 	if err := getInto(target+"/stats", &stats); err == nil {

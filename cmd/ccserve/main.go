@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +36,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
+		debug    = flag.String("debug-addr", "", "serve net/http/pprof profiling handlers on this address (empty = disabled; keep it loopback-only)")
 		in       = flag.String("in", "", "input graph file (.csr binary or text edge list); mutually exclusive with -gen/-restore")
 		genName  = flag.String("gen", "", "generate a graph: urand | kron | road | twitter | web | regular")
 		n        = flag.Int("n", 1<<16, "vertices for -gen (urand/road/twitter/web/regular)")
@@ -80,6 +82,18 @@ func main() {
 	}
 	fmt.Printf("serving %d vertices, %d edges, %d components on %s\n",
 		srv.NumVertices(), srv.EdgesAccepted(), srv.Snapshot().NumComponents(), *addr)
+
+	if *debug != "" {
+		// pprof registers on http.DefaultServeMux via its import side
+		// effect; a separate listener keeps profiling off the service
+		// address.
+		go func() {
+			fmt.Printf("pprof on http://%s/debug/pprof/\n", *debug)
+			if err := http.ListenAndServe(*debug, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ccserve: debug listener:", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

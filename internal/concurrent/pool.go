@@ -3,6 +3,9 @@ package concurrent
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"afforest/internal/obs"
 )
 
 // Pool is a persistent set of worker goroutines that services
@@ -26,7 +29,18 @@ type Pool struct {
 	idle   []int // slots of workers currently parked
 	tasks  []chan poolTask
 	closed bool
+
+	// metrics, when set, receives per-job utilization: busy time and
+	// chunk counts per worker plus a max-over-mean imbalance gauge. The
+	// nil-pointer fast path costs one atomic load per ForRange — never
+	// per chunk.
+	metrics atomic.Pointer[obs.PoolMetrics]
 }
+
+// SetMetrics installs (or, with nil, removes) the utilization metrics
+// the pool reports into. Safe to call concurrently with running jobs;
+// jobs already in flight finish under the sink they started with.
+func (pl *Pool) SetMetrics(m *obs.PoolMetrics) { pl.metrics.Store(m) }
 
 // poolTask hands a job to one recruited worker together with its
 // participant id (the submitter is always id 0).
@@ -43,9 +57,20 @@ type poolJob struct {
 	grain int
 	body  func(lo, hi, worker int)
 	wg    sync.WaitGroup
+
+	// Set only when the pool has metrics installed: busy[w] is written
+	// once per participant after its claim loop drains (no sharing
+	// while the job runs), then read by the submitter for the imbalance
+	// gauge.
+	metrics *obs.PoolMetrics
+	busy    []int64
 }
 
 func (j *poolJob) run(worker int) {
+	if j.metrics != nil {
+		j.runMetered(worker)
+		return
+	}
 	g := int64(j.grain)
 	for {
 		lo := j.next.Add(g) - g
@@ -57,6 +82,33 @@ func (j *poolJob) run(worker int) {
 			hi = j.n
 		}
 		j.body(int(lo), hi, worker)
+	}
+}
+
+// runMetered is run with per-worker accounting: one clock read around
+// the whole claim loop (not per chunk) and sharded counter adds on the
+// way out, so metered jobs stay within noise of unmetered ones.
+func (j *poolJob) runMetered(worker int) {
+	start := time.Now()
+	var chunks int64
+	g := int64(j.grain)
+	for {
+		lo := j.next.Add(g) - g
+		if lo >= int64(j.n) {
+			break
+		}
+		hi := int(lo) + j.grain
+		if hi > j.n {
+			hi = j.n
+		}
+		j.body(int(lo), hi, worker)
+		chunks++
+	}
+	busyNS := time.Since(start).Nanoseconds()
+	j.metrics.Busy.AddShard(worker, busyNS)
+	j.metrics.Chunks.AddShard(worker, chunks)
+	if worker < len(j.busy) {
+		j.busy[worker] = busyNS
 	}
 }
 
@@ -139,11 +191,24 @@ func (pl *Pool) ForRange(n, p, grain int, body func(lo, hi, worker int)) {
 	if chunks := (n + grain - 1) / grain; p > chunks {
 		p = chunks
 	}
+	m := pl.metrics.Load()
 	if p <= 1 {
+		if m == nil {
+			body(0, n, 0)
+			return
+		}
+		start := time.Now()
 		body(0, n, 0)
+		m.Busy.Add(time.Since(start).Nanoseconds())
+		m.Chunks.Inc()
+		m.Jobs.Inc()
+		m.Imbalance.Set(1)
 		return
 	}
-	job := &poolJob{n: n, grain: grain, body: body}
+	job := &poolJob{n: n, grain: grain, body: body, metrics: m}
+	if m != nil {
+		job.busy = make([]int64, p)
+	}
 	slots := pl.grab(p - 1)
 	job.wg.Add(len(slots))
 	for i, s := range slots {
@@ -151,6 +216,33 @@ func (pl *Pool) ForRange(n, p, grain int, body func(lo, hi, worker int)) {
 	}
 	job.run(0)
 	job.wg.Wait()
+	if m != nil {
+		m.Jobs.Inc()
+		m.Imbalance.Set(jobImbalance(job.busy))
+	}
+}
+
+// jobImbalance is max busy time over mean busy time across the workers
+// that did any work: 1.0 means a perfectly balanced pass, k means one
+// worker carried k times its share. Workers recruited but starved of
+// chunks are excluded so small jobs don't read as pathological.
+func jobImbalance(busy []int64) float64 {
+	var sum, max int64
+	active := 0
+	for _, b := range busy {
+		if b <= 0 {
+			continue
+		}
+		active++
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if active == 0 || sum == 0 {
+		return 1
+	}
+	return float64(max) * float64(active) / float64(sum)
 }
 
 // Close shuts the pool's workers down. It must not be called

@@ -1,0 +1,94 @@
+package concurrent
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"afforest/internal/obs"
+)
+
+func TestPoolForRangeMetrics(t *testing.T) {
+	pl := NewPool(4)
+	defer pl.Close()
+	reg := obs.NewRegistry()
+	pm := obs.NewPoolMetrics(reg)
+	pl.SetMetrics(pm)
+
+	const n, jobs = 1 << 14, 5
+	var touched atomic.Int64
+	for j := 0; j < jobs; j++ {
+		pl.ForRange(n, 4, 64, func(lo, hi, w int) {
+			touched.Add(int64(hi - lo))
+		})
+	}
+	if got := touched.Load(); got != n*jobs {
+		t.Fatalf("bodies touched %d indices, want %d", got, n*jobs)
+	}
+	if got := pm.Jobs.Value(); got != jobs {
+		t.Errorf("jobs counter = %d, want %d", got, jobs)
+	}
+	// Every job partitions n indices into ceil(n/grain) chunks.
+	if got, want := pm.Chunks.Value(), int64(jobs*(n/64)); got != want {
+		t.Errorf("chunks counter = %d, want %d", got, want)
+	}
+	if pm.Busy.Value() <= 0 {
+		t.Error("busy counter never advanced")
+	}
+	if imb := pm.Imbalance.Value(); imb < 1 {
+		t.Errorf("imbalance = %v, want >= 1 (max/mean over active workers)", imb)
+	}
+}
+
+func TestPoolForRangeMetricsInline(t *testing.T) {
+	pl := NewPool(2)
+	defer pl.Close()
+	reg := obs.NewRegistry()
+	pm := obs.NewPoolMetrics(reg)
+	pl.SetMetrics(pm)
+
+	// p=1 takes the inline path; it must still account the job.
+	ran := false
+	pl.ForRange(100, 1, 64, func(lo, hi, w int) {
+		if w != 0 {
+			t.Errorf("inline worker id = %d, want 0", w)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("body never ran")
+	}
+	if got := pm.Jobs.Value(); got != 1 {
+		t.Errorf("jobs counter = %d, want 1", got)
+	}
+	if got := pm.Imbalance.Value(); got != 1 {
+		t.Errorf("inline imbalance = %v, want exactly 1", got)
+	}
+
+	// Removing the sink restores the unmetered path without disturbing
+	// the totals already recorded.
+	pl.SetMetrics(nil)
+	pl.ForRange(100, 1, 64, func(lo, hi, w int) {})
+	if got := pm.Jobs.Value(); got != 1 {
+		t.Errorf("jobs counter moved to %d after SetMetrics(nil), want 1", got)
+	}
+}
+
+func TestJobImbalance(t *testing.T) {
+	cases := []struct {
+		busy []int64
+		want float64
+	}{
+		{nil, 1},
+		{[]int64{0, 0}, 1},
+		{[]int64{100}, 1},
+		{[]int64{100, 100, 100, 100}, 1},
+		{[]int64{300, 100}, 1.5},       // one worker carried 1.5x its share
+		{[]int64{100, 0, 100, 0}, 1},   // starved workers excluded
+		{[]int64{400, 100, 100, 0}, 2}, // max 400 * active 3 / sum 600
+	}
+	for _, c := range cases {
+		if got := jobImbalance(c.busy); got != c.want {
+			t.Errorf("jobImbalance(%v) = %v, want %v", c.busy, got, c.want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"afforest/internal/concurrent"
 	"afforest/internal/graph"
+	"afforest/internal/obs"
 )
 
 // Options configures an Afforest run (Fig 5).
@@ -43,6 +44,12 @@ type Options struct {
 	// variant measured by the compress ablation). The final compress is
 	// always the full one, so results are identical.
 	HalvingCompress bool
+
+	// Observer, when non-nil, receives the run's phase tree (spans per
+	// neighbor round, compress pass, sample, and final pass) with
+	// per-phase work counters. nil keeps the uninstrumented hot path:
+	// Run dispatches on the nil check once, not per edge.
+	Observer obs.Observer
 }
 
 // DefaultOptions returns the configuration used throughout the paper's
@@ -77,6 +84,10 @@ func Run(g *graph.CSR, opt Options) Parent {
 	n := g.NumVertices()
 	p := NewParent(n)
 	if n == 0 {
+		return p
+	}
+	if opt.Observer != nil {
+		runObservedOn(g, opt, p, opt.Observer, nil)
 		return p
 	}
 	rounds := opt.rounds()
@@ -153,9 +164,17 @@ func Run(g *graph.CSR, opt Options) Parent {
 // affects performance, never correctness (Theorem 3 holds for any
 // choice of component).
 func SampleFrequentElement(p Parent, samples int, seed uint64) graph.V {
+	v, _ := SampleFrequentElementRatio(p, samples, seed)
+	return v
+}
+
+// SampleFrequentElementRatio is SampleFrequentElement returning also
+// the mode's observed sample frequency in [0,1] — the skip ratio: the
+// estimated fraction of vertices the final phase will skip.
+func SampleFrequentElementRatio(p Parent, samples int, seed uint64) (graph.V, float64) {
 	n := len(p)
-	if n == 0 {
-		return 0
+	if n == 0 || samples <= 0 {
+		return 0, 0
 	}
 	if samples > n {
 		samples = n
@@ -196,7 +215,7 @@ func SampleFrequentElement(p Parent, samples int, seed uint64) graph.V {
 			best, bestCount = v, counts[idx]
 		}
 	}
-	return best
+	return best, float64(bestCount) / float64(samples)
 }
 
 // parallelFor is the vertex-loop scheduler shared by the core phases:

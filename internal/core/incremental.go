@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"afforest/internal/concurrent"
 	"afforest/internal/graph"
+	"afforest/internal/obs"
 )
 
 // Incremental is an online connectivity structure built from Afforest's
@@ -42,6 +44,46 @@ func (inc *Incremental) AddEdge(u, v graph.V) bool {
 		return true
 	}
 	return false
+}
+
+// AddEdges applies a batch of undirected edges in parallel and returns
+// the number that merged two components. Theorem 1's order freedom is
+// what makes the parallel pass safe: each edge converges locally
+// regardless of interleaving. A non-nil observer receives one
+// edge_batch_apply span carrying the batch size and merge count — this
+// is the span the serve layer's batcher emits per flush.
+func (inc *Incremental) AddEdges(edges []graph.Edge, parallelism int, ob obs.Observer) int64 {
+	if len(edges) == 0 {
+		return 0
+	}
+	var span obs.SpanID
+	if ob != nil {
+		span = ob.BeginPhase(obs.PhaseEdgeBatch)
+	}
+	var merged atomic.Int64
+	concurrent.ForRange(len(edges), parallelism, 256, func(lo, hi, _ int) {
+		var local int64
+		for _, e := range edges[lo:hi] {
+			if e.U != e.V && LinkRecord(inc.p, e.U, e.V) {
+				local++
+			}
+		}
+		if local > 0 {
+			merged.Add(local)
+		}
+	})
+	m := merged.Load()
+	if m > 0 {
+		inc.components.Add(-m)
+	}
+	if ob != nil {
+		ob.EndPhase(span, obs.PhaseStats{
+			Edges:  int64(len(edges)),
+			Links:  int64(len(edges)),
+			Merges: m,
+		})
+	}
+	return m
 }
 
 // Connected reports whether u and v are currently in the same

@@ -3,7 +3,9 @@ package core
 import (
 	"sync/atomic"
 
+	"afforest/internal/concurrent"
 	"afforest/internal/graph"
+	"afforest/internal/obs"
 )
 
 // LinkStats aggregates the per-edge behaviour of Link for Table II:
@@ -34,6 +36,20 @@ func (s *LinkStats) merge(o *LinkStats) {
 	s.CASFails += o.CASFails
 	if o.MaxIters > s.MaxIters {
 		s.MaxIters = o.MaxIters
+	}
+}
+
+// PhaseStats converts the accounting into the observability payload.
+// Every Link call corresponds to one edge handed to the phase, so
+// Edges == Links here; phases that skip edges without calling Link
+// report the difference themselves.
+func (s *LinkStats) PhaseStats() obs.PhaseStats {
+	return obs.PhaseStats{
+		Edges:      s.Calls,
+		Links:      s.Calls,
+		Iters:      s.Iterations,
+		MaxIters:   s.MaxIters,
+		CASRetries: s.CASFails,
 	}
 }
 
@@ -89,7 +105,8 @@ type RunStats struct {
 // RunInstrumented executes Afforest exactly like Run while collecting
 // RunStats. Per-worker stats are accumulated without synchronization in
 // worker-private structs and merged at phase boundaries, so the
-// measured algorithm is the same algorithm.
+// measured algorithm is the same algorithm. When opt.Observer is also
+// set, it receives the same phase tree Run would emit.
 func RunInstrumented(g *graph.CSR, opt Options) (Parent, *RunStats) {
 	n := g.NumVertices()
 	p := NewParent(n)
@@ -97,52 +114,161 @@ func RunInstrumented(g *graph.CSR, opt Options) (Parent, *RunStats) {
 	if n == 0 {
 		return p, rs
 	}
-	rounds := opt.rounds()
-	workers := workerCount(opt.Parallelism)
-
-	observeDepth := func() {
+	ob := obs.Multi(opt.Observer, &runStatsObserver{rs: rs})
+	afterLink := func() {
 		if d := p.MaxDepth(); d > rs.MaxDepth {
 			rs.MaxDepth = d
 		}
 	}
+	runObservedOn(g, opt, p, ob, afterLink)
+	return p, rs
+}
+
+// runStatsObserver folds every phase's stats into a RunStats — the
+// Table II accounting expressed as an Observer. Phases without link
+// work (compress, sample) contribute zeros.
+type runStatsObserver struct {
+	rs *RunStats
+}
+
+func (o *runStatsObserver) BeginPhase(string) obs.SpanID { return 0 }
+
+func (o *runStatsObserver) EndPhase(_ obs.SpanID, st obs.PhaseStats) {
+	o.rs.Link.Calls += st.Links
+	o.rs.Link.Iterations += st.Iters
+	o.rs.Link.CASFails += st.CASRetries
+	if st.MaxIters > o.rs.Link.MaxIters {
+		o.rs.Link.MaxIters = st.MaxIters
+	}
+}
+
+// runObservedOn is Run's phase loop with LinkCounted in place of Link
+// and a span per phase, writing into the caller's p. The loops mirror
+// Run exactly (raw CSR slices, the same grains, the same arc-balanced
+// final pass); afterLink, when non-nil, runs after each link phase
+// closes and before its compress — RunInstrumented measures tree depth
+// there. Callers guarantee n > 0 and ob != nil.
+func runObservedOn(g *graph.CSR, opt Options, p Parent, ob obs.Observer, afterLink func()) {
+	n := g.NumVertices()
+	root := ob.BeginPhase(obs.PhaseRun)
+	rounds := opt.rounds()
+	workers := workerCount(opt.Parallelism)
+	offsets, targets := g.Adjacency(0, n)
+
+	mergeWorkers := func(per []LinkStats) obs.PhaseStats {
+		var total LinkStats
+		for w := range per {
+			total.merge(&per[w])
+		}
+		return total.PhaseStats()
+	}
 
 	for r := 0; r < rounds; r++ {
-		perWorker := make([]LinkStats, workers)
-		parallelForWorker(n, opt.Parallelism, func(i, w int) {
-			u := graph.V(i)
-			if r < g.Degree(u) {
-				LinkCounted(p, u, g.Neighbor(u, r), &perWorker[w])
+		span := ob.BeginPhase(obs.PhaseNeighborRound)
+		per := make([]LinkStats, workers)
+		rr := int64(r)
+		concurrent.ForRange(n, opt.Parallelism, 512, func(lo, hi, w int) {
+			st := &per[w]
+			for u := lo; u < hi; u++ {
+				if k := offsets[u] + rr; k < offsets[u+1] {
+					LinkCounted(p, graph.V(u), targets[k], st)
+				}
 			}
 		})
-		for w := range perWorker {
-			rs.Link.merge(&perWorker[w])
+		ob.EndPhase(span, mergeWorkers(per))
+		if afterLink != nil {
+			afterLink()
 		}
-		observeDepth()
-		CompressAll(p, opt.Parallelism)
+		span = ob.BeginPhase(obs.PhaseCompress)
+		if opt.HalvingCompress {
+			CompressHalveAll(p, opt.Parallelism)
+		} else {
+			CompressAll(p, opt.Parallelism)
+		}
+		ob.EndPhase(span, obs.PhaseStats{})
 	}
 
 	var c graph.V
-	if opt.SkipLargest {
-		c = SampleFrequentElement(p, opt.sampleSize(), opt.Seed)
+	skip := opt.SkipLargest
+	if skip {
+		span := ob.BeginPhase(obs.PhaseSample)
+		var ratio float64
+		c, ratio = SampleFrequentElementRatio(p, opt.sampleSize(), opt.Seed)
+		ob.EndPhase(span, obs.PhaseStats{SkipRatio: ratio})
 	}
 
-	perWorker := make([]LinkStats, workers)
-	parallelForWorker(n, opt.Parallelism, func(i, w int) {
-		u := graph.V(i)
-		if opt.SkipLargest && p.Get(u) == c {
-			return
-		}
-		deg := g.Degree(u)
-		for k := rounds; k < deg; k++ {
-			LinkCounted(p, u, g.Neighbor(u, k), &perWorker[w])
+	span := ob.BeginPhase(obs.PhaseFinal)
+	per := make([]LinkStats, workers)
+	skipArcs := int64(rounds)
+	concurrent.ForEdgeRange(offsets, opt.Parallelism, opt.EdgeGrain, func(vlo, vhi int, alo, ahi int64, w int) {
+		st := &per[w]
+		for u := vlo; u < vhi; u++ {
+			lo, hi := offsets[u]+skipArcs, offsets[u+1]
+			if lo < alo {
+				lo = alo
+			}
+			if hi > ahi {
+				hi = ahi
+			}
+			if lo >= hi {
+				continue
+			}
+			uu := graph.V(u)
+			if skip && p.Get(uu) == c {
+				continue
+			}
+			for _, v := range targets[lo:hi] {
+				LinkCounted(p, uu, v, st)
+			}
 		}
 	})
-	for w := range perWorker {
-		rs.Link.merge(&perWorker[w])
+	ob.EndPhase(span, mergeWorkers(per))
+	if afterLink != nil {
+		afterLink()
 	}
-	observeDepth()
+
+	span = ob.BeginPhase(obs.PhaseFinalCompress)
 	CompressAll(p, opt.Parallelism)
-	return p, rs
+	ob.EndPhase(span, obs.PhaseStats{})
+	ob.EndPhase(root, obs.PhaseStats{})
+}
+
+// LinkAllObserved is LinkAllGrain emitting one link_all span with the
+// phase's accounting through ob. A nil observer falls through to the
+// uninstrumented pass.
+func LinkAllObserved(g *graph.CSR, p Parent, parallelism, edgeGrain int, ob obs.Observer) {
+	if ob == nil {
+		LinkAllGrain(g, p, parallelism, edgeGrain)
+		return
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return
+	}
+	span := ob.BeginPhase(obs.PhaseLinkAll)
+	per := make([]LinkStats, workerCount(parallelism))
+	offsets, targets := g.Adjacency(0, n)
+	concurrent.ForEdgeRange(offsets, parallelism, edgeGrain, func(vlo, vhi int, alo, ahi int64, w int) {
+		st := &per[w]
+		for u := vlo; u < vhi; u++ {
+			lo, hi := offsets[u], offsets[u+1]
+			if lo < alo {
+				lo = alo
+			}
+			if hi > ahi {
+				hi = ahi
+			}
+			uu := graph.V(u)
+			for _, v := range targets[lo:hi] {
+				LinkCounted(p, uu, v, st)
+			}
+		}
+	})
+	var total LinkStats
+	for w := range per {
+		total.merge(&per[w])
+	}
+	ob.EndPhase(span, total.PhaseStats())
 }
 
 // EdgesProcessed estimates work saved by sampling+skipping: it runs

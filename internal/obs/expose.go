@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE header per family,
+// one sample line per labeled entry, cumulative le-buckets plus
+// _sum/_count for histograms. Safe concurrently with metric updates;
+// counters read mid-scrape are lower bounds and never decrease across
+// scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.RUnlock()
+	for _, f := range fams {
+		r.mu.RLock()
+		entries := append([]*entry(nil), f.entries...)
+		r.mu.RUnlock()
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, e := range entries {
+			switch m := e.m.(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, braced(e.labels), m.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, braced(e.labels), formatFloat(m.Value()))
+			case *Histogram:
+				writeHistogram(bw, f.name, e.labels, m.Snapshot())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) {
+	var cum int64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(joinLabels(labels, `le=`+strconv.Quote(formatFloat(bound)))), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(joinLabels(labels, `le="+Inf"`)), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(labels), formatFloat(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, braced(labels), s.Count)
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the exposition (the serve
+// layer mounts it at GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,131 @@
+// Package obs is the stdlib-only observability layer for the Afforest
+// runtime: a lock-free metrics registry (sharded atomic counters,
+// gauges, fixed-bucket histograms with a Prometheus-text exposition
+// encoder), a low-overhead span tracer that records the algorithm's
+// phase tree as structured events, and pluggable sinks (JSON-lines
+// event log, in-memory ring).
+//
+// Instrumented code reports through the Observer interface; call sites
+// nil-check it so the uninstrumented hot path stays free of counters,
+// allocations, and unpredictable branches — observation cost is paid
+// only when an observer is attached. The package has no dependencies
+// inside this repository, so every layer (concurrent, core, serve, cmd)
+// can import it without cycles.
+package obs
+
+import "sync"
+
+// SpanID identifies an open phase span within one Observer. IDs are
+// only meaningful to the Observer that issued them.
+type SpanID int32
+
+// PhaseStats is the measurement payload attached to a completed phase
+// span. Fields that do not apply to a phase are zero (a compress pass
+// hands no edges to Link; only the sample phase estimates a skip
+// ratio).
+type PhaseStats struct {
+	Edges      int64   `json:"edges,omitempty"`       // arcs handed to Link during the phase
+	Links      int64   `json:"links,omitempty"`       // Link invocations
+	Iters      int64   `json:"iters,omitempty"`       // local Link loop iterations
+	MaxIters   int64   `json:"max_iters,omitempty"`   // deepest single Link climb
+	CASRetries int64   `json:"cas_retries,omitempty"` // failed hook CAS attempts
+	Merges     int64   `json:"merges,omitempty"`      // component merges (batch apply)
+	SkipRatio  float64 `json:"skip_ratio,omitempty"`  // sample phase: estimated mode frequency in [0,1]
+}
+
+// Merge folds b into s (sums, except MaxIters which takes the max and
+// SkipRatio which takes the last nonzero value).
+func (s *PhaseStats) Merge(b PhaseStats) {
+	s.Edges += b.Edges
+	s.Links += b.Links
+	s.Iters += b.Iters
+	s.CASRetries += b.CASRetries
+	s.Merges += b.Merges
+	if b.MaxIters > s.MaxIters {
+		s.MaxIters = b.MaxIters
+	}
+	if b.SkipRatio != 0 {
+		s.SkipRatio = b.SkipRatio
+	}
+}
+
+// Observer receives phase boundaries from instrumented code. Phases
+// nest: a BeginPhase while another span is open opens a child. The
+// zero-cost convention is a nil Observer — instrumented call sites
+// check for nil once per phase, never per edge.
+//
+// Implementations must be safe for use from a single instrumenting
+// goroutine; Tracer and RunMetrics are additionally safe for
+// concurrent use (the serve layer's batcher emits from its own
+// goroutine while handlers run).
+type Observer interface {
+	// BeginPhase opens a span named name and returns its id.
+	BeginPhase(name string) SpanID
+	// EndPhase closes the span, attaching its final stats.
+	EndPhase(id SpanID, st PhaseStats)
+}
+
+// Phase names used by the instrumented Afforest runtime. The tracer
+// records them verbatim; RunMetrics maps them onto registry counters.
+const (
+	PhaseRun           = "afforest_run"     // root span of one batch run
+	PhaseNeighborRound = "neighbor_round"   // one vertex-neighbor sampling round (Fig 5 lines 2-5)
+	PhaseCompress      = "compress"         // inter-round compress pass (Fig 5 lines 6-8)
+	PhaseSample        = "sample_frequent"  // most-frequent-element search (Fig 5 line 10)
+	PhaseFinal         = "final_skip_pass"  // skip-aware pass over remaining edges (Fig 5 lines 11-15)
+	PhaseFinalCompress = "final_compress"   // final flattening pass (Fig 5 lines 16-18)
+	PhaseLinkAll       = "link_all"         // unsampled full link pass (Section III)
+	PhaseEdgeBatch     = "edge_batch_apply" // one coalesced incremental edge batch
+)
+
+// Multi fans every phase event out to each non-nil observer. It
+// returns nil when none remain and the single observer unwrapped when
+// only one does, so call sites keep their plain nil check.
+func Multi(parts ...Observer) Observer {
+	live := make([]Observer, 0, len(parts))
+	for _, p := range parts {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &multiObserver{parts: live, open: make(map[SpanID][]SpanID)}
+}
+
+type multiObserver struct {
+	parts []Observer
+	mu    sync.Mutex
+	next  SpanID
+	open  map[SpanID][]SpanID // our id -> per-part ids
+}
+
+func (m *multiObserver) BeginPhase(name string) SpanID {
+	ids := make([]SpanID, len(m.parts))
+	for i, p := range m.parts {
+		ids[i] = p.BeginPhase(name)
+	}
+	m.mu.Lock()
+	m.next++
+	id := m.next
+	m.open[id] = ids
+	m.mu.Unlock()
+	return id
+}
+
+func (m *multiObserver) EndPhase(id SpanID, st PhaseStats) {
+	m.mu.Lock()
+	ids, ok := m.open[id]
+	delete(m.open, id)
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	for i, p := range m.parts {
+		p.EndPhase(ids[i], st)
+	}
+}

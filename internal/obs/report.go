@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Report is the digested phase tree of one traced run: the root wall
+// time, the total edges handed to Link, and every recorded span. It
+// marshals directly into the serve layer's /stats JSON and renders the
+// per-phase breakdown table (the Fig 7-style phase decomposition) for
+// the CLIs.
+type Report struct {
+	TotalNS int64  `json:"total_ns"`
+	Edges   int64  `json:"edges"`
+	Spans   []Span `json:"spans"`
+}
+
+// Report digests the tracer's current spans. TotalNS is the first root
+// span's wall time; Edges sums the leaves (each arc is counted in
+// exactly one leaf phase).
+func (t *Tracer) Report() *Report {
+	spans := t.Spans()
+	r := &Report{Spans: spans}
+	hasChild := childMap(spans)
+	for _, s := range spans {
+		if s.Parent == -1 && r.TotalNS == 0 {
+			r.TotalNS = s.DurNS
+		}
+		if !hasChild[s.ID] {
+			r.Edges += s.Stats.Edges
+		}
+	}
+	return r
+}
+
+func childMap(spans []Span) map[SpanID]bool {
+	hasChild := make(map[SpanID]bool, len(spans))
+	for _, s := range spans {
+		if s.Parent >= 0 {
+			hasChild[s.Parent] = true
+		}
+	}
+	return hasChild
+}
+
+// BreakdownRow is one leaf phase of the breakdown table.
+type BreakdownRow struct {
+	Name      string  `json:"name"`
+	DurNS     int64   `json:"dur_ns"`
+	Edges     int64   `json:"edges"`
+	NSPerEdge float64 `json:"ns_per_edge"` // 0 when the phase handed no edges to Link
+	PctWall   float64 `json:"pct_wall"`
+}
+
+// Rows returns the leaf phases in execution order.
+func (r *Report) Rows() []BreakdownRow {
+	hasChild := childMap(r.Spans)
+	rows := make([]BreakdownRow, 0, len(r.Spans))
+	for _, s := range r.Spans {
+		if hasChild[s.ID] {
+			continue
+		}
+		row := BreakdownRow{Name: s.Name, DurNS: s.DurNS, Edges: s.Stats.Edges}
+		if s.Stats.Edges > 0 {
+			row.NSPerEdge = float64(s.DurNS) / float64(s.Stats.Edges)
+		}
+		if r.TotalNS > 0 {
+			row.PctWall = 100 * float64(s.DurNS) / float64(r.TotalNS)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// LeafNS sums the leaf phases' wall time. For a sequential phase tree
+// this covers TotalNS up to per-phase bookkeeping, which is the
+// property the -trace acceptance check pins (within 5% of total wall).
+func (r *Report) LeafNS() int64 {
+	var sum int64
+	for _, row := range r.Rows() {
+		sum += row.DurNS
+	}
+	return sum
+}
+
+// WriteBreakdown renders the per-phase table: wall time, edges handed
+// to Link, ns/edge, and share of total wall (mirroring the paper's
+// Fig 7 phase decomposition).
+func (r *Report) WriteBreakdown(w io.Writer) error {
+	rows := r.Rows()
+	wName := len("TOTAL")
+	for _, row := range rows {
+		if len(row.Name) > wName {
+			wName = len(row.Name)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %14s  %12s  %9s  %7s\n", wName, "phase", "wall", "edges", "ns/edge", "% wall"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		nsEdge := "-"
+		if row.Edges > 0 {
+			nsEdge = fmt.Sprintf("%.2f", row.NSPerEdge)
+		}
+		edges := "-"
+		if row.Edges > 0 {
+			edges = fmt.Sprintf("%d", row.Edges)
+		}
+		if _, err := fmt.Fprintf(w, "%-*s  %12dns  %12s  %9s  %6.1f%%\n",
+			wName, row.Name, row.DurNS, edges, nsEdge, row.PctWall); err != nil {
+			return err
+		}
+	}
+	totalNsEdge := "-"
+	if r.Edges > 0 {
+		totalNsEdge = fmt.Sprintf("%.2f", float64(r.TotalNS)/float64(r.Edges))
+	}
+	_, err := fmt.Fprintf(w, "%-*s  %12dns  %12d  %9s  %6.1f%%\n",
+		wName, "TOTAL", r.TotalNS, r.Edges, totalNsEdge, 100.0)
+	return err
+}

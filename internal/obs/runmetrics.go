@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RunMetrics is an Observer that folds every phase into registry
+// counters — the aggregate, always-on view that backs /metrics, next
+// to the Tracer's per-run structural view. Both can watch the same run
+// via Multi.
+type RunMetrics struct {
+	runs           *Counter
+	linkRounds     *Counter
+	compressPasses *Counter
+	finalPasses    *Counter
+	samplePasses   *Counter
+	linkCalls      *Counter
+	linkIters      *Counter
+	casRetries     *Counter
+	edges          *Counter
+	merges         *Counter
+	skipRatio      *Gauge
+
+	reg *Registry
+
+	mu      sync.Mutex
+	phaseNS map[string]*Counter
+	open    map[SpanID]openPhase
+	nextID  SpanID
+}
+
+type openPhase struct {
+	name  string
+	start time.Time
+}
+
+// NewRunMetrics binds run counters in r. Multiple RunMetrics on the
+// same registry share the underlying counters (registration is
+// idempotent), so per-request observers are cheap.
+func NewRunMetrics(r *Registry) *RunMetrics {
+	return &RunMetrics{
+		runs:           r.Counter("afforest_runs_total", "Completed Afforest runs."),
+		linkRounds:     r.Counter("afforest_link_rounds_total", "Neighbor-sampling link rounds executed."),
+		compressPasses: r.Counter("afforest_compress_passes_total", "Compress passes executed (including final)."),
+		finalPasses:    r.Counter("afforest_final_passes_total", "Full edge passes (skip-aware final or LinkAll)."),
+		samplePasses:   r.Counter("afforest_sample_passes_total", "Most-frequent-element sampling passes."),
+		linkCalls:      r.Counter("afforest_link_calls_total", "Link invocations across all phases."),
+		linkIters:      r.Counter("afforest_link_iterations_total", "Hook-climbing iterations inside Link."),
+		casRetries:     r.Counter("afforest_link_cas_retries_total", "CAS retries inside Link."),
+		edges:          r.Counter("afforest_edges_processed_total", "Edges handed to link phases."),
+		merges:         r.Counter("afforest_edge_merges_total", "Edge applications that merged two components."),
+		skipRatio:      r.Gauge("afforest_skip_ratio", "Fraction of sampled vertices already in the largest component (last run)."),
+		reg:            r,
+		phaseNS:        make(map[string]*Counter),
+		open:           make(map[SpanID]openPhase),
+	}
+}
+
+// BeginPhase records the phase start.
+func (m *RunMetrics) BeginPhase(name string) SpanID {
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	m.open[id] = openPhase{name: name, start: time.Now()}
+	m.mu.Unlock()
+	return id
+}
+
+// EndPhase folds the finished phase into the counters.
+func (m *RunMetrics) EndPhase(id SpanID, st PhaseStats) {
+	m.mu.Lock()
+	ph, ok := m.open[id]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.open, id)
+	c := m.phaseNS[ph.name]
+	if c == nil {
+		c = m.reg.Counter("afforest_phase_ns_total", "Wall time spent per phase.", L("phase", ph.name))
+		m.phaseNS[ph.name] = c
+	}
+	m.mu.Unlock()
+
+	c.Add(time.Since(ph.start).Nanoseconds())
+	switch ph.name {
+	case PhaseRun:
+		m.runs.Inc()
+	case PhaseNeighborRound:
+		m.linkRounds.Inc()
+	case PhaseCompress, PhaseFinalCompress:
+		m.compressPasses.Inc()
+	case PhaseFinal, PhaseLinkAll:
+		m.finalPasses.Inc()
+	case PhaseSample:
+		m.samplePasses.Inc()
+	}
+	m.linkCalls.Add(st.Links)
+	m.linkIters.Add(st.Iters)
+	m.casRetries.Add(st.CASRetries)
+	m.edges.Add(st.Edges)
+	m.merges.Add(st.Merges)
+	if st.SkipRatio != 0 {
+		m.skipRatio.Set(st.SkipRatio)
+	}
+}
+
+// --- Pool metrics ---
+
+// PoolMetrics are the worker-pool utilization metrics the concurrent
+// package reports into when installed via Pool.SetMetrics.
+type PoolMetrics struct {
+	// Busy accumulates per-worker busy nanoseconds (sharded by worker
+	// id, so hot workers never contend).
+	Busy *Counter
+	// Chunks counts work chunks claimed from job ticket counters.
+	Chunks *Counter
+	// Jobs counts completed parallel jobs (ForRange invocations).
+	Jobs *Counter
+	// Imbalance is max-over-mean busy time across the workers of the
+	// most recent job: 1.0 is a perfectly balanced pass.
+	Imbalance *Gauge
+}
+
+// NewPoolMetrics binds the pool metric family in r.
+func NewPoolMetrics(r *Registry) *PoolMetrics {
+	return &PoolMetrics{
+		Busy:      r.Counter("afforest_pool_busy_ns_total", "Per-worker busy time inside parallel jobs."),
+		Chunks:    r.Counter("afforest_pool_chunks_total", "Work chunks claimed by pool workers."),
+		Jobs:      r.Counter("afforest_pool_jobs_total", "Parallel jobs executed by the pool."),
+		Imbalance: r.Gauge("afforest_pool_imbalance_ratio", "Max-over-mean worker busy time of the last job."),
+	}
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one completed (or still open, DurNS == 0) phase of a traced
+// run. Times are nanoseconds since the tracer's epoch, so a JSONL
+// stream is self-contained and diffable across runs.
+type Span struct {
+	ID      SpanID     `json:"id"`
+	Parent  SpanID     `json:"parent"` // -1 for roots
+	Name    string     `json:"name"`
+	StartNS int64      `json:"start_ns"`
+	DurNS   int64      `json:"dur_ns"`
+	Stats   PhaseStats `json:"stats"`
+}
+
+// Sink receives each span as it completes.
+type Sink interface {
+	Emit(s Span)
+}
+
+// Tracer is an Observer that records the phase tree: BeginPhase while
+// another span is open opens a child. Phases in the Afforest runtime
+// are coarse (a handful per run), so a mutex per boundary costs
+// nothing measurable; the hot loops inside a phase never touch the
+// tracer.
+type Tracer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	spans []Span
+	stack []SpanID
+	sinks []Sink
+}
+
+// NewTracer returns a tracer whose epoch is now, forwarding completed
+// spans to each sink.
+func NewTracer(sinks ...Sink) *Tracer {
+	return &Tracer{epoch: time.Now(), sinks: sinks}
+}
+
+// BeginPhase opens a span under the innermost open span (or as a
+// root).
+func (t *Tracer) BeginPhase(name string) SpanID {
+	t.mu.Lock()
+	id := SpanID(len(t.spans))
+	parent := SpanID(-1)
+	if len(t.stack) > 0 {
+		parent = t.stack[len(t.stack)-1]
+	}
+	t.spans = append(t.spans, Span{
+		ID:      id,
+		Parent:  parent,
+		Name:    name,
+		StartNS: time.Since(t.epoch).Nanoseconds(),
+	})
+	t.stack = append(t.stack, id)
+	t.mu.Unlock()
+	return id
+}
+
+// EndPhase closes the span (and, defensively, any forgotten children
+// still open beneath it) and forwards it to the sinks.
+func (t *Tracer) EndPhase(id SpanID, st PhaseStats) {
+	t.mu.Lock()
+	if int(id) < 0 || int(id) >= len(t.spans) || t.spans[id].DurNS != 0 {
+		t.mu.Unlock()
+		return
+	}
+	for len(t.stack) > 0 {
+		top := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		if top == id {
+			break
+		}
+	}
+	sp := &t.spans[id]
+	sp.DurNS = time.Since(t.epoch).Nanoseconds() - sp.StartNS
+	if sp.DurNS == 0 {
+		sp.DurNS = 1 // clamp: DurNS == 0 marks a still-open span
+	}
+	sp.Stats = st
+	done := *sp
+	sinks := t.sinks
+	t.mu.Unlock()
+	for _, s := range sinks {
+		s.Emit(done)
+	}
+}
+
+// Spans returns a copy of every span recorded so far, in begin order.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// --- Sinks ---
+
+// JSONLSink writes one JSON object per completed span to w.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w (callers keep ownership; close it after the
+// traced run finishes).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	// Prime encoding/json's reflection cache for Span now: the first
+	// Encode of a type pays a one-off ~100µs setup that would otherwise
+	// land between the first two phases of the traced run.
+	json.NewEncoder(io.Discard).Encode(Span{})
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes s as one JSON line.
+func (j *JSONLSink) Emit(s Span) {
+	j.mu.Lock()
+	j.enc.Encode(s)
+	j.mu.Unlock()
+}
+
+// RingSink retains the most recent spans in memory — the test and
+// /stats-shaped sink.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []Span
+	next    int
+	wrapped bool
+}
+
+// NewRingSink retains the last capacity spans (minimum 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Span, capacity)}
+}
+
+// Emit stores s, evicting the oldest span when full.
+func (r *RingSink) Emit(s Span) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns the retained spans, oldest first.
+func (r *RingSink) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		return append([]Span(nil), r.buf[:r.next]...)
+	}
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

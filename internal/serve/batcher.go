@@ -7,6 +7,7 @@ import (
 	"afforest/internal/concurrent"
 	"afforest/internal/core"
 	"afforest/internal/graph"
+	"afforest/internal/obs"
 )
 
 // edgeBatcher coalesces concurrent POST /edges bodies into batches
@@ -23,7 +24,9 @@ type edgeBatcher struct {
 	window      time.Duration
 	maxBatch    int
 	parallelism int
-	accepted    *atomic.Int64 // server's accepted-edge counter
+	accepted    *atomic.Int64  // server's accepted-edge counter
+	ob          obs.Observer   // edge_batch_apply spans (may be nil)
+	applyHist   *obs.Histogram // per-flush apply wall time (may be nil)
 
 	submit chan *submission
 	done   chan struct{}
@@ -46,7 +49,7 @@ type submitResult struct {
 	merged   int
 }
 
-func newEdgeBatcher(inc *core.Incremental, window time.Duration, maxBatch, parallelism int, accepted *atomic.Int64) *edgeBatcher {
+func newEdgeBatcher(inc *core.Incremental, window time.Duration, maxBatch, parallelism int, accepted *atomic.Int64, ob obs.Observer, applyHist *obs.Histogram) *edgeBatcher {
 	if maxBatch <= 0 {
 		maxBatch = 8192
 	}
@@ -56,6 +59,8 @@ func newEdgeBatcher(inc *core.Incremental, window time.Duration, maxBatch, paral
 		maxBatch:    maxBatch,
 		parallelism: parallelism,
 		accepted:    accepted,
+		ob:          ob,
+		applyHist:   applyHist,
 		submit:      make(chan *submission, 1024),
 		done:        make(chan struct{}),
 	}
@@ -138,6 +143,11 @@ func (b *edgeBatcher) flush(batch []*submission) {
 		}
 	}
 	mergedPer := make([]int64, len(batch))
+	var span obs.SpanID
+	if b.ob != nil {
+		span = b.ob.BeginPhase(obs.PhaseEdgeBatch)
+	}
+	applyStart := time.Now()
 	if len(flat) > 0 {
 		concurrent.ForRange(len(flat), b.parallelism, 256, func(lo, hi, _ int) {
 			for i := lo; i < hi; i++ {
@@ -148,9 +158,20 @@ func (b *edgeBatcher) flush(batch []*submission) {
 			}
 		})
 	}
+	applyDur := time.Since(applyStart)
 	var merged int64
 	for _, m := range mergedPer {
 		merged += m
+	}
+	if b.applyHist != nil {
+		b.applyHist.ObserveDuration(applyDur)
+	}
+	if b.ob != nil {
+		b.ob.EndPhase(span, obs.PhaseStats{
+			Edges:  int64(total),
+			Links:  int64(total),
+			Merges: merged,
+		})
 	}
 	b.batches.Add(1)
 	b.batchedEdges.Add(int64(total))

@@ -11,6 +11,7 @@
 //	GET  /census?top=       component census (snapshot)
 //	POST /edges             insert edges, single or bulk (batched)
 //	GET  /stats             counters, QPS, latency percentiles
+//	GET  /metrics           Prometheus text exposition (obs registry)
 //	GET  /healthz           liveness
 //
 // Writes coalesce into batches on the shared worker pool (edgeBatcher);
@@ -29,8 +30,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"afforest/internal/concurrent"
 	"afforest/internal/core"
 	"afforest/internal/graph"
+	"afforest/internal/obs"
 	"afforest/internal/stats"
 )
 
@@ -53,6 +56,10 @@ type Config struct {
 	LatencyWindow int
 	// Afforest configures the bootstrap run (zero value = defaults).
 	Afforest core.Options
+	// Registry receives the server's metrics and backs GET /metrics.
+	// nil means a fresh private registry; share one to aggregate
+	// several servers into a single exposition.
+	Registry *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 250 * time.Millisecond
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
 	}
 	return c
 }
@@ -91,30 +101,55 @@ type Server struct {
 	counts   counters
 	readLat  *stats.LatencyRecorder
 	writeLat *stats.LatencyRecorder
+
+	lastRun atomic.Pointer[obs.Report] // bootstrap run's phase tree, if any
 }
 
-// counters is the expvar-style counter set surfaced by /stats.
+// counters is the per-handler request counter set: one registry family
+// (afforest_http_requests_total, labeled by handler) surfaced by both
+// /stats and /metrics, so the two endpoints read the same cells.
 type counters struct {
-	connected atomic.Int64
-	component atomic.Int64
-	census    atomic.Int64
-	edges     atomic.Int64
-	stats     atomic.Int64
-	healthz   atomic.Int64
-	bad       atomic.Int64 // 4xx responses
-	rejected  atomic.Int64 // writes refused during shutdown
-	snapshots atomic.Int64
+	connected *obs.Counter
+	component *obs.Counter
+	census    *obs.Counter
+	edges     *obs.Counter
+	stats     *obs.Counter
+	metrics   *obs.Counter
+	healthz   *obs.Counter
+	bad       *obs.Counter // 4xx responses
+	rejected  *obs.Counter // writes refused during shutdown
+	snapshots *obs.Counter
+}
+
+func newCounters(reg *obs.Registry) counters {
+	h := func(name string) *obs.Counter {
+		return reg.Counter("afforest_http_requests_total",
+			"HTTP requests served, by handler.", obs.L("handler", name))
+	}
+	return counters{
+		connected: h("connected"),
+		component: h("component"),
+		census:    h("census"),
+		edges:     h("edges"),
+		stats:     h("stats"),
+		metrics:   h("metrics"),
+		healthz:   h("healthz"),
+		bad:       reg.Counter("afforest_http_errors_total", "Requests answered with a 4xx status."),
+		rejected:  reg.Counter("afforest_writes_rejected_total", "Edge submissions refused during shutdown drain."),
+		snapshots: reg.Counter("afforest_snapshots_total", "Census snapshots published."),
+	}
 }
 
 func (c *counters) total() int64 {
-	return c.connected.Load() + c.component.Load() + c.census.Load() +
-		c.edges.Load() + c.stats.Load() + c.healthz.Load()
+	return c.connected.Value() + c.component.Value() + c.census.Value() +
+		c.edges.Value() + c.stats.Value() + c.healthz.Value()
 }
 
 // New wraps an existing incremental structure. bootEdges seeds the
 // accepted-edge counter (the number of edges already reflected in inc).
 func New(inc *core.Incremental, bootEdges int64, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := cfg.Registry
 	s := &Server{
 		cfg:      cfg,
 		inc:      inc,
@@ -122,23 +157,49 @@ func New(inc *core.Incremental, bootEdges int64, cfg Config) *Server {
 		stopSnap: make(chan struct{}),
 		snapDone: make(chan struct{}),
 		started:  time.Now(),
+		counts:   newCounters(reg),
 		readLat:  stats.NewLatencyRecorder(cfg.LatencyWindow),
 		writeLat: stats.NewLatencyRecorder(cfg.LatencyWindow),
 	}
+	// Mirror the latency rings into registry histograms: /stats and
+	// /metrics summarize the same sample stream.
+	s.readLat.Attach(reg.Histogram("afforest_read_latency_ns",
+		"Read handler latency (connected/component/census).", obs.DefaultLatencyBuckets))
+	s.writeLat.Attach(reg.Histogram("afforest_write_latency_ns",
+		"Write handler latency (POST /edges, includes batch wait).", obs.DefaultLatencyBuckets))
 	s.edges.Store(bootEdges)
+	// The worker pool that executes batch flushes and snapshot builds is
+	// process-wide; report its utilization here. Deliberately global:
+	// with several servers the last one wins, matching the pool itself.
+	concurrent.DefaultPool().SetMetrics(obs.NewPoolMetrics(reg))
 	// The batcher bumps s.edges inside flush, before replying, so the
 	// post-drain snapshot's edge count is exact.
-	s.batcher = newEdgeBatcher(inc, cfg.BatchWindow, cfg.MaxBatch, cfg.Parallelism, &s.edges)
+	s.batcher = newEdgeBatcher(inc, cfg.BatchWindow, cfg.MaxBatch, cfg.Parallelism, &s.edges,
+		obs.NewRunMetrics(reg),
+		reg.Histogram("afforest_edge_apply_ns",
+			"Wall time of one coalesced edge-batch parallel apply.", obs.DefaultLatencyBuckets))
 	s.mux.HandleFunc("GET /connected", s.handleConnected)
 	s.mux.HandleFunc("GET /component", s.handleComponent)
 	s.mux.HandleFunc("GET /census", s.handleCensus)
 	s.mux.HandleFunc("POST /edges", s.handleEdges)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	metricsHandler := reg.Handler()
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.counts.metrics.Inc()
+		metricsHandler.ServeHTTP(w, r)
+	})
 	s.Refresh()
 	go s.snapshotLoop()
 	return s
 }
+
+// Registry returns the registry backing this server's /metrics.
+func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
+
+// LastRun returns the bootstrap run's phase-tree report, or nil when
+// the server was built without a batch run (New/Restore).
+func (s *Server) LastRun() *obs.Report { return s.lastRun.Load() }
 
 // Bootstrap runs the full batch Afforest algorithm over g, restores an
 // incremental structure from the resulting labels, and serves it. This
@@ -146,6 +207,7 @@ func New(inc *core.Incremental, bootEdges int64, cfg Config) *Server {
 // batch run (sampling + skipping) is much faster than streaming g's
 // edges one by one.
 func Bootstrap(g *graph.CSR, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
 	opt := cfg.Afforest
 	if opt == (core.Options{}) {
 		opt = core.DefaultOptions()
@@ -153,12 +215,20 @@ func Bootstrap(g *graph.CSR, cfg Config) (*Server, error) {
 	if opt.Parallelism == 0 {
 		opt.Parallelism = cfg.Parallelism
 	}
+	// Observe the bootstrap run itself: its phase tree becomes the
+	// /stats "last_run" section and its counters land in the registry.
+	// Installed before Run so the pool work it schedules is counted.
+	concurrent.DefaultPool().SetMetrics(obs.NewPoolMetrics(cfg.Registry))
+	tracer := obs.NewTracer()
+	opt.Observer = obs.Multi(opt.Observer, tracer, obs.NewRunMetrics(cfg.Registry))
 	p := core.Run(g, opt)
 	inc, err := core.RestoreIncremental(p.Labels())
 	if err != nil {
 		return nil, fmt.Errorf("serve: bootstrap labels invalid: %w", err)
 	}
-	return New(inc, g.NumEdges(), cfg), nil
+	s := New(inc, g.NumEdges(), cfg)
+	s.lastRun.Store(tracer.Report())
+	return s, nil
 }
 
 // Restore loads a label snapshot persisted by SaveSnapshot and serves
@@ -201,7 +271,7 @@ func (s *Server) Refresh() *Snapshot {
 	labels := s.inc.Snapshot(s.cfg.Parallelism)
 	snap := buildSnapshot(labels, s.snapSeq.Add(1), s.edges.Load(), s.cfg.Parallelism)
 	s.snap.Store(snap)
-	s.counts.snapshots.Add(1)
+	s.counts.snapshots.Inc()
 	return snap
 }
 
@@ -265,7 +335,7 @@ func (s *Server) enqueue(edges []graph.Edge) (submitResult, bool) {
 // --- handlers ---
 
 func (s *Server) httpError(w http.ResponseWriter, code int, msg string) {
-	s.counts.bad.Add(1)
+	s.counts.bad.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
@@ -294,7 +364,7 @@ func (s *Server) vertexParam(r *http.Request, name string) (graph.V, error) {
 
 func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	s.counts.connected.Add(1)
+	s.counts.connected.Inc()
 	u, err := s.vertexParam(r, "u")
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err.Error())
@@ -314,7 +384,7 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleComponent(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	s.counts.component.Add(1)
+	s.counts.component.Inc()
 	v, err := s.vertexParam(r, "v")
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err.Error())
@@ -332,7 +402,7 @@ func (s *Server) handleComponent(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCensus(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	s.counts.census.Add(1)
+	s.counts.census.Inc()
 	top := 10
 	if raw := r.URL.Query().Get("top"); raw != "" {
 		k, err := strconv.Atoi(raw)
@@ -368,7 +438,7 @@ type edgesRequest struct {
 
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	s.counts.edges.Add(1)
+	s.counts.edges.Inc()
 	var req edgesRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -403,7 +473,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	}
 	res, ok := s.enqueue(edges)
 	if !ok {
-		s.counts.rejected.Add(1)
+		s.counts.rejected.Inc()
 		s.httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -415,7 +485,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.counts.stats.Add(1)
+	s.counts.stats.Inc()
 	uptime := time.Since(s.started)
 	total := s.counts.total()
 	qps := 0.0
@@ -429,21 +499,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		avgBatch = float64(batched) / float64(batches)
 	}
 	snap := s.snap.Load()
-	writeJSON(w, map[string]any{
+	body := map[string]any{
 		"uptime_seconds": uptime.Seconds(),
 		"vertices":       s.inc.NumVertices(),
 		"components":     s.inc.NumComponents(),
 		"edges_accepted": s.edges.Load(),
 		"qps":            qps,
 		"requests": map[string]int64{
-			"connected": s.counts.connected.Load(),
-			"component": s.counts.component.Load(),
-			"census":    s.counts.census.Load(),
-			"edges":     s.counts.edges.Load(),
-			"stats":     s.counts.stats.Load(),
-			"healthz":   s.counts.healthz.Load(),
-			"bad":       s.counts.bad.Load(),
-			"rejected":  s.counts.rejected.Load(),
+			"connected": s.counts.connected.Value(),
+			"component": s.counts.component.Value(),
+			"census":    s.counts.census.Value(),
+			"edges":     s.counts.edges.Value(),
+			"stats":     s.counts.stats.Value(),
+			"metrics":   s.counts.metrics.Value(),
+			"healthz":   s.counts.healthz.Value(),
+			"bad":       s.counts.bad.Value(),
+			"rejected":  s.counts.rejected.Value(),
 		},
 		"read_latency":  s.readLat.Summary(),
 		"write_latency": s.writeLat.Summary(),
@@ -458,13 +529,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"seq":        snap.Seq,
 			"age_ms":     time.Since(snap.TakenAt).Milliseconds(),
 			"components": snap.NumComponents(),
-			"taken":      s.counts.snapshots.Load(),
+			"taken":      s.counts.snapshots.Value(),
 		},
-	})
+	}
+	if rep := s.lastRun.Load(); rep != nil {
+		body["last_run"] = map[string]any{
+			"total_ns": rep.TotalNS,
+			"edges":    rep.Edges,
+			"phases":   rep.Rows(),
+		}
+	}
+	writeJSON(w, body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.counts.healthz.Add(1)
+	s.counts.healthz.Inc()
 	writeJSON(w, map[string]any{
 		"status":     "ok",
 		"vertices":   s.inc.NumVertices(),

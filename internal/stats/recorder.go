@@ -3,6 +3,8 @@ package stats
 import (
 	"sync"
 	"time"
+
+	"afforest/internal/obs"
 )
 
 // LatencyRecorder accumulates request latencies for online percentile
@@ -19,6 +21,7 @@ type LatencyRecorder struct {
 	next  int       // ring write cursor
 	count int64     // lifetime observations
 	sum   float64   // lifetime nanoseconds
+	hist  *obs.Histogram
 }
 
 // DefaultLatencyWindow is the ring capacity NewLatencyRecorder uses
@@ -32,6 +35,18 @@ func NewLatencyRecorder(window int) *LatencyRecorder {
 		window = DefaultLatencyWindow
 	}
 	return &LatencyRecorder{ring: make([]float64, 0, window)}
+}
+
+// Attach mirrors every subsequent observation into h, so the /metrics
+// histogram and the /stats percentiles are fed by the identical sample
+// stream — the two endpoints cannot disagree about what was measured.
+// (They summarize differently by design: the ring is exact over the
+// recent window, the histogram is bucketed over the lifetime.) Pass nil
+// to detach.
+func (r *LatencyRecorder) Attach(h *obs.Histogram) {
+	r.mu.Lock()
+	r.hist = h
+	r.mu.Unlock()
 }
 
 // Observe records one latency sample. Safe for concurrent use.
@@ -49,7 +64,11 @@ func (r *LatencyRecorder) Observe(d time.Duration) {
 	}
 	r.count++
 	r.sum += ns
+	h := r.hist
 	r.mu.Unlock()
+	if h != nil {
+		h.Observe(ns)
+	}
 }
 
 // Count returns the lifetime number of observations.

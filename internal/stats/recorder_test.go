@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"afforest/internal/obs"
 )
 
 func TestLatencyRecorderEmpty(t *testing.T) {
@@ -52,6 +54,53 @@ func TestLatencyRecorderWindowSlides(t *testing.T) {
 	if s.Max != time.Millisecond {
 		t.Fatalf("window max = %v, old samples did not age out", s.Max)
 	}
+}
+
+// TestLatencyRecorderAttach pins the /stats vs /metrics agreement
+// contract: an attached histogram sees the identical sample stream, so
+// its count matches the recorder's and its quantile estimate brackets
+// the ring's exact percentile.
+func TestLatencyRecorderAttach(t *testing.T) {
+	r := NewLatencyRecorder(1000)
+	h := obs.NewHistogram(obs.DefaultLatencyBuckets)
+	r.Attach(h)
+	for i := 1; i <= 100; i++ {
+		r.Observe(time.Duration(i) * time.Millisecond)
+	}
+	snap := h.Snapshot()
+	if snap.Count != r.Count() {
+		t.Fatalf("histogram count = %d, recorder count = %d", snap.Count, r.Count())
+	}
+	// With fewer samples than the window both views cover the same data;
+	// the bucketed p50 must land in the bucket containing the exact p50.
+	exact := float64(r.Summary().P50)
+	bucketed := snap.Quantile(0.5)
+	lo, hi := bucketLimits(obs.DefaultLatencyBuckets, exact)
+	if bucketed < lo || bucketed > hi {
+		t.Errorf("bucketed p50 = %v outside [%v, %v] around exact p50 %v", bucketed, lo, hi, exact)
+	}
+
+	// Detaching stops the mirroring without losing what was recorded.
+	r.Attach(nil)
+	r.Observe(time.Second)
+	if snap := h.Snapshot(); snap.Count != 100 {
+		t.Errorf("histogram count = %d after detach, want 100", snap.Count)
+	}
+	if r.Count() != 101 {
+		t.Errorf("recorder count = %d, want 101", r.Count())
+	}
+}
+
+// bucketLimits returns the (lo, hi] bucket bounds containing v.
+func bucketLimits(bounds []float64, v float64) (float64, float64) {
+	lo := 0.0
+	for _, b := range bounds {
+		if v <= b {
+			return lo, b
+		}
+		lo = b
+	}
+	return lo, v
 }
 
 func TestLatencyRecorderConcurrent(t *testing.T) {
