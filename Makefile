@@ -1,0 +1,45 @@
+GO ?= go
+
+# Default target: the full verification gate.
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# check is the correctness gate: static checks, the full test suite,
+# the race matrix over the schedule-sensitive packages, and a smoke run
+# of every fuzz target. This is what CI should run.
+check: vet build test race-matrix fuzz-smoke
+
+# The race detector only sees interleavings that happen, so the
+# schedule-sensitive packages run under three thread budgets: 1 (pure
+# cooperative, catches logic that only works when preempted), 2 (the
+# smallest truly parallel schedule), and 8 (contention). The differential
+# matrix inside internal/testkit additionally permutes chunk dispatch
+# with seeded schedules, so each pass explores distinct interleavings.
+race-matrix:
+	@for p in 1 2 8; do \
+		echo "== race matrix: GOMAXPROCS=$$p =="; \
+		GOMAXPROCS=$$p $(GO) test -race -count=1 \
+			./internal/concurrent ./internal/core ./internal/serve ./internal/testkit \
+			|| exit 1; \
+	done
+
+# 10-second smoke of each native fuzz target: the parsers for the two
+# external input formats and the HTTP surface. CI keeps corpora warm;
+# real exploration is `go test -fuzz=<target> -fuzztime=10m <pkg>`.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=10s ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=10s ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzServeHandlers -fuzztime=10s ./internal/serve
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+.PHONY: all build vet test check race-matrix fuzz-smoke bench

@@ -35,6 +35,13 @@ type Pool struct {
 	// nil-pointer fast path costs one atomic load per ForRange — never
 	// per chunk.
 	metrics atomic.Pointer[obs.PoolMetrics]
+
+	// det, when set, routes jobs through the deterministic seeded
+	// scheduler (sched.go); detSeq is the job ordinal mixed into each
+	// job's permutation seed. Same one-atomic-load discipline as
+	// metrics.
+	det    atomic.Pointer[DetConfig]
+	detSeq atomic.Uint64
 }
 
 // SetMetrics installs (or, with nil, removes) the utilization metrics
@@ -191,6 +198,16 @@ func (pl *Pool) ForRange(n, p, grain int, body func(lo, hi, worker int)) {
 	if chunks := (n + grain - 1) / grain; p > chunks {
 		p = chunks
 	}
+	if d := pl.det.Load(); d != nil {
+		pl.forRangeDet(d, n, p, grain, body)
+		return
+	}
+	pl.dispatch(n, p, grain, body)
+}
+
+// dispatch is the production scheduling path: parameters arrive
+// normalized (n > 0, grain > 0, 1 <= p <= chunk count).
+func (pl *Pool) dispatch(n, p, grain int, body func(lo, hi, worker int)) {
 	m := pl.metrics.Load()
 	if p <= 1 {
 		if m == nil {

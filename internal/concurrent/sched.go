@@ -1,0 +1,123 @@
+package concurrent
+
+// Deterministic, seed-controlled scheduling. Afforest's correctness
+// claims (Lemmas 1–5, Theorems 1–2) are schedule-independence claims:
+// link/compress must converge to the same partition under any edge
+// order, chunk partitioning, or worker interleaving. The production
+// scheduler hands chunks out through an atomic ticket counter, so the
+// order actually exercised is whatever the Go scheduler produces — and
+// a failure observed once is gone forever. Deterministic mode makes the
+// schedule itself an input: every pool-backed job draws a seeded
+// permutation of its chunk ids, and (optionally) executes the permuted
+// chunks serially on the submitting goroutine, so the exact
+// chunk-dispatch sequence of a run is a pure function of the seed and
+// can be replayed.
+//
+// Two sub-modes:
+//
+//   - permuted-parallel (Serial=false): chunks are dispatched to real
+//     pool workers, but in seeded-permutation order rather than ascending
+//     ticket order. Workers still race, so -race sees genuine
+//     concurrency, while the dispatch order sweeps adversarial edge
+//     orderings the ascending counter would never produce.
+//   - serial-interleave (Serial=true): the permuted chunks run one at a
+//     time on the submitting goroutine, with worker ids assigned
+//     round-robin. The complete interleaving is determined by the seed;
+//     a failing schedule replays exactly.
+//
+// Each job mixes the pool's job ordinal into the seed so successive
+// phases of one algorithm draw distinct permutations; SetDeterministic
+// resets the ordinal so a replay starting from the same seed sees the
+// same per-phase permutations. The mode is test infrastructure: it is
+// per-Pool, enabled only between SetDeterministic(cfg) and
+// SetDeterministic(nil), and costs the disabled hot path exactly one
+// atomic pointer load per ForRange (never per chunk) — pinned by
+// BenchmarkDeterministicOverhead and its guard test.
+
+// DetConfig configures a Pool's deterministic scheduler mode.
+type DetConfig struct {
+	// Seed drives the per-job chunk permutations. Two runs of the same
+	// deterministic code under the same Seed draw identical dispatch
+	// orders.
+	Seed uint64
+	// Serial executes permuted chunks on the submitting goroutine
+	// (fully replayable interleaving); false keeps real pool workers
+	// with seeded dispatch order.
+	Serial bool
+}
+
+// SetDeterministic installs (or, with nil, removes) deterministic
+// scheduling on the pool and resets the job ordinal, so a run started
+// right after enabling replays chunk-for-chunk under the same seed.
+// Callers must serialize deterministic sections themselves: the mode is
+// pool-global, and jobs submitted concurrently from other goroutines
+// would consume job ordinals and desynchronize the replay.
+func (pl *Pool) SetDeterministic(cfg *DetConfig) {
+	pl.detSeq.Store(0)
+	pl.det.Store(cfg)
+}
+
+// SetDeterministic configures the process-wide default pool; see
+// (*Pool).SetDeterministic.
+func SetDeterministic(cfg *DetConfig) { DefaultPool().SetDeterministic(cfg) }
+
+// forRangeDet is the deterministic ForRange path. Parameters arrive
+// normalized (n > 0, grain > 0, 1 <= p <= ceil(n/grain)).
+func (pl *Pool) forRangeDet(d *DetConfig, n, p, grain int, body func(lo, hi, worker int)) {
+	chunks := (n + grain - 1) / grain
+	ord := pl.detSeq.Add(1) - 1
+	perm := detPerm(chunks, detMix(d.Seed^(ord+1)*0x9e3779b97f4a7c15))
+	run := func(i, worker int) {
+		lo := perm[i] * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		body(lo, hi, worker)
+	}
+	if d.Serial {
+		// Serial-interleave: the permuted chunk sequence runs on the
+		// caller, worker ids cycling so per-worker scratch paths are
+		// still exercised (ids stay dense in [0, p)).
+		for i := 0; i < chunks; i++ {
+			run(i, i%p)
+		}
+		return
+	}
+	// Permuted-parallel: positions in the permutation are claimed from
+	// the ordinary ticket counter (grain 1), so workers interleave for
+	// real but dispatch order is the seeded permutation.
+	pl.dispatch(chunks, p, 1, func(plo, phi, worker int) {
+		for i := plo; i < phi; i++ {
+			run(i, worker)
+		}
+	})
+}
+
+// detPerm returns a seeded Fisher–Yates permutation of [0, n).
+func detPerm(n int, seed uint64) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	s := seed
+	for i := n - 1; i > 0; i-- {
+		// SplitMix64 step; modulo bias is irrelevant at these sizes.
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		j := int(z % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// detMix is the SplitMix64 finalizer, used to decorrelate seed+ordinal
+// combinations before they drive a permutation.
+func detMix(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,271 @@
+package concurrent
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chunkLog records the (lo, hi, worker) dispatch sequence of a serial
+// deterministic run.
+type chunkLog struct{ lo, hi, worker int }
+
+func recordSerial(pl *Pool, seed uint64, n, p, grain int) []chunkLog {
+	pl.SetDeterministic(&DetConfig{Seed: seed, Serial: true})
+	defer pl.SetDeterministic(nil)
+	var log []chunkLog
+	pl.ForRange(n, p, grain, func(lo, hi, worker int) {
+		log = append(log, chunkLog{lo, hi, worker})
+	})
+	return log
+}
+
+func TestDeterministicSerialReplaysExactSchedule(t *testing.T) {
+	pl := NewPool(4)
+	defer pl.Close()
+	a := recordSerial(pl, 42, 10_000, 4, 256)
+	b := recordSerial(pl, 42, 10_000, 4, 256)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed must replay the same chunk dispatch sequence")
+	}
+	c := recordSerial(pl, 43, 10_000, 4, 256)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical schedules (40 chunks)")
+	}
+	// Every index covered exactly once, worker ids dense in [0, p).
+	seen := make([]int, 10_000)
+	for _, l := range a {
+		if l.worker < 0 || l.worker >= 4 {
+			t.Fatalf("worker id %d out of range", l.worker)
+		}
+		for i := l.lo; i < l.hi; i++ {
+			seen[i]++
+		}
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d dispatched %d times", i, c)
+		}
+	}
+}
+
+func TestDeterministicOrdinalResetAcrossPhases(t *testing.T) {
+	pl := NewPool(2)
+	defer pl.Close()
+	run := func() [][]chunkLog {
+		pl.SetDeterministic(&DetConfig{Seed: 7, Serial: true})
+		defer pl.SetDeterministic(nil)
+		var phases [][]chunkLog
+		for phase := 0; phase < 3; phase++ {
+			var log []chunkLog
+			pl.ForRange(4096, 2, 128, func(lo, hi, w int) {
+				log = append(log, chunkLog{lo, hi, w})
+			})
+			phases = append(phases, log)
+		}
+		return phases
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("multi-phase run must replay after SetDeterministic resets the job ordinal")
+	}
+	// Distinct phases draw distinct permutations from the same seed.
+	if reflect.DeepEqual(a[0], a[1]) && reflect.DeepEqual(a[1], a[2]) {
+		t.Fatal("all phases drew the identical permutation; job ordinal not mixed in")
+	}
+}
+
+func TestDeterministicParallelCoversDomain(t *testing.T) {
+	pl := NewPool(4)
+	defer pl.Close()
+	pl.SetDeterministic(&DetConfig{Seed: 99})
+	defer pl.SetDeterministic(nil)
+	const n = 100_000
+	seen := make([]atomic.Int32, n)
+	pl.ForRange(n, 4, 512, func(lo, hi, worker int) {
+		if worker < 0 || worker >= 4 {
+			t.Errorf("worker id %d out of range", worker)
+		}
+		for i := lo; i < hi; i++ {
+			seen[i].Add(1)
+		}
+	})
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+func TestDeterministicForEdgeRangeCoversArcs(t *testing.T) {
+	pl := NewPool(4)
+	defer pl.Close()
+	// Skewed offsets: one hub owning most arcs plus a tail of small rows.
+	offsets := []int64{0, 9000}
+	for a := int64(9000); a <= 10_000; a++ {
+		offsets = append(offsets, a)
+	}
+	m := offsets[len(offsets)-1]
+	for _, serial := range []bool{true, false} {
+		pl.SetDeterministic(&DetConfig{Seed: 5, Serial: serial})
+		seen := make([]atomic.Int32, m)
+		pl.ForEdgeRange(offsets, 4, 64, func(vlo, vhi int, alo, ahi int64, _ int) {
+			for u := vlo; u < vhi; u++ {
+				lo, hi := offsets[u], offsets[u+1]
+				if lo < alo {
+					lo = alo
+				}
+				if hi > ahi {
+					hi = ahi
+				}
+				for k := lo; k < hi; k++ {
+					seen[k].Add(1)
+				}
+			}
+		})
+		pl.SetDeterministic(nil)
+		for k := range seen {
+			if got := seen[k].Load(); got != 1 {
+				t.Fatalf("serial=%v: arc %d visited %d times", serial, k, got)
+			}
+		}
+	}
+}
+
+func TestDeterministicDisableRestoresProduction(t *testing.T) {
+	pl := NewPool(4)
+	defer pl.Close()
+	pl.SetDeterministic(&DetConfig{Seed: 1, Serial: true})
+	pl.SetDeterministic(nil)
+	var count atomic.Int64
+	pl.ForRange(50_000, 4, 512, func(lo, hi, _ int) {
+		count.Add(int64(hi - lo))
+	})
+	if count.Load() != 50_000 {
+		t.Fatalf("covered %d of 50000 after disabling deterministic mode", count.Load())
+	}
+}
+
+func TestDetPermIsPermutation(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 1000} {
+		perm := detPerm(n, 0xabcdef)
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("n=%d: invalid permutation %v", n, perm)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// forRangeNoDetCheck is the frozen pre-deterministic-mode ForRange:
+// normalization straight into dispatch, without the det pointer load.
+// The overhead guard times the real ForRange against it.
+func forRangeNoDetCheck(pl *Pool, n, p, grain int, body func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	p = Procs(p)
+	if chunks := (n + grain - 1) / grain; p > chunks {
+		p = chunks
+	}
+	pl.dispatch(n, p, grain, body)
+}
+
+func schedGuardBody(sink []int64) func(lo, hi, worker int) {
+	return func(lo, hi, worker int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		sink[worker] += s
+	}
+}
+
+// TestDeterministicDisabledOverheadGuard pins that the seeded scheduler
+// costs the disabled path nothing measurable: one atomic pointer load
+// per ForRange, within 2% of the frozen baseline under min-of-N
+// interleaved timing (escalating reps before failing, as
+// TestNilObserverOverheadGuard does).
+func TestDeterministicDisabledOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive guard skipped in -short mode")
+	}
+	pl := NewPool(0)
+	defer pl.Close()
+	const n = 1 << 21
+	sink := make([]int64, Procs(0))
+
+	measure := func(reps int) (minReal, minBase time.Duration) {
+		minReal, minBase = time.Duration(1<<62), time.Duration(1<<62)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			pl.ForRange(n, 0, 0, schedGuardBody(sink))
+			if d := time.Since(start); d < minReal {
+				minReal = d
+			}
+			start = time.Now()
+			forRangeNoDetCheck(pl, n, 0, 0, schedGuardBody(sink))
+			if d := time.Since(start); d < minBase {
+				minBase = d
+			}
+		}
+		return minReal, minBase
+	}
+
+	// Warm the pool before timing.
+	pl.ForRange(n, 0, 0, schedGuardBody(sink))
+	forRangeNoDetCheck(pl, n, 0, 0, schedGuardBody(sink))
+
+	reps := 20
+	for attempt := 0; ; attempt++ {
+		minReal, minBase := measure(reps)
+		ratio := float64(minReal) / float64(minBase)
+		if ratio <= 1.02 {
+			t.Logf("disabled-deterministic overhead: %.2f%% (%v vs %v, %d reps)",
+				(ratio-1)*100, minReal, minBase, reps)
+			return
+		}
+		if attempt >= 3 {
+			t.Fatalf("deterministic check overhead %.2f%% > 2%% (%v vs %v)",
+				(ratio-1)*100, minReal, minBase)
+		}
+		reps *= 2
+	}
+}
+
+// BenchmarkDeterministicOverhead reports the disabled-path cost of the
+// seeded scheduler next to the frozen baseline and both enabled modes,
+// so the trajectory file shows all four side by side.
+func BenchmarkDeterministicOverhead(b *testing.B) {
+	pl := NewPool(0)
+	defer pl.Close()
+	const n = 1 << 21
+	sink := make([]int64, Procs(0))
+	run := func(b *testing.B, fn func()) {
+		b.ReportMetric(float64(n), "indices/op")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	}
+	b.Run("baseline-no-check", func(b *testing.B) {
+		run(b, func() { forRangeNoDetCheck(pl, n, 0, 0, schedGuardBody(sink)) })
+	})
+	b.Run("disabled", func(b *testing.B) {
+		run(b, func() { pl.ForRange(n, 0, 0, schedGuardBody(sink)) })
+	})
+	for _, serial := range []bool{false, true} {
+		b.Run(fmt.Sprintf("enabled-serial=%v", serial), func(b *testing.B) {
+			pl.SetDeterministic(&DetConfig{Seed: 1, Serial: serial})
+			defer pl.SetDeterministic(nil)
+			run(b, func() { pl.ForRange(n, 0, 0, schedGuardBody(sink)) })
+		})
+	}
+}

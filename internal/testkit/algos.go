@@ -1,0 +1,119 @@
+package testkit
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"afforest/internal/baselines"
+	"afforest/internal/core"
+	"afforest/internal/graph"
+)
+
+// Algo is one registered connected-components implementation the
+// differential matrix can sweep. Run must return per-vertex labels;
+// Audited, when non-nil, is the same run with a phase-boundary hook
+// (only the Afforest variants expose phases).
+type Algo struct {
+	Name    string
+	Run     func(g *graph.CSR, workers int, seed uint64) []graph.V
+	Audited func(g *graph.CSR, workers int, seed uint64, audit func(core.Parent, string)) []graph.V
+	// Halving marks variants whose mid-run compress phases are pointer
+	// halving; the auditor then defers depth-1 checks to the final
+	// compress (see Auditor.Halving).
+	Halving bool
+}
+
+var (
+	algoMu sync.Mutex
+	algos  = map[string]Algo{}
+)
+
+// RegisterAlgo adds (or replaces) an algorithm in the registry. Tests
+// register deliberately broken variants to prove the harness and the
+// replay path catch them.
+func RegisterAlgo(a Algo) {
+	algoMu.Lock()
+	defer algoMu.Unlock()
+	algos[a.Name] = a
+}
+
+// LookupAlgo returns the registered algorithm with the given name.
+func LookupAlgo(name string) (Algo, error) {
+	algoMu.Lock()
+	defer algoMu.Unlock()
+	a, ok := algos[name]
+	if !ok {
+		return Algo{}, fmt.Errorf("testkit: unknown algorithm %q", name)
+	}
+	return a, nil
+}
+
+// AlgoNames lists the registered algorithm names, sorted.
+func AlgoNames() []string {
+	algoMu.Lock()
+	defer algoMu.Unlock()
+	names := make([]string, 0, len(algos))
+	for n := range algos {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func afforestAlgo(name string, mod func(*core.Options)) Algo {
+	opts := func(workers int, seed uint64) core.Options {
+		o := core.DefaultOptions()
+		o.Parallelism = workers
+		o.Seed = seed
+		if mod != nil {
+			mod(&o)
+		}
+		return o
+	}
+	return Algo{
+		Name: name,
+		Run: func(g *graph.CSR, workers int, seed uint64) []graph.V {
+			return core.Run(g, opts(workers, seed)).Labels()
+		},
+		Audited: func(g *graph.CSR, workers int, seed uint64, audit func(core.Parent, string)) []graph.V {
+			return core.RunAudited(g, opts(workers, seed), audit).Labels()
+		},
+		Halving: opts(1, 0).HalvingCompress,
+	}
+}
+
+func baselineAlgo(name string, run func(g *graph.CSR, parallelism int) []graph.V) Algo {
+	return Algo{
+		Name: name,
+		// Baselines take no seed: under deterministic scheduling the
+		// seed still matters — it drives their chunk permutations.
+		Run: func(g *graph.CSR, workers int, _ uint64) []graph.V {
+			return run(g, workers)
+		},
+	}
+}
+
+func init() {
+	RegisterAlgo(afforestAlgo("afforest", nil))
+	RegisterAlgo(afforestAlgo("afforest-noskip", func(o *core.Options) { o.SkipLargest = false }))
+	RegisterAlgo(afforestAlgo("afforest-nosample", func(o *core.Options) {
+		o.NeighborRounds = -1
+		o.SkipLargest = false
+	}))
+	RegisterAlgo(afforestAlgo("afforest-halving", func(o *core.Options) { o.HalvingCompress = true }))
+	RegisterAlgo(Algo{
+		Name: "linkall",
+		Run: func(g *graph.CSR, workers int, _ uint64) []graph.V {
+			p := core.NewParent(g.NumVertices())
+			core.LinkAll(g, p, workers)
+			core.CompressAll(p, workers)
+			return p.Labels()
+		},
+	})
+	RegisterAlgo(baselineAlgo("sv", baselines.SV))
+	RegisterAlgo(baselineAlgo("sv-edgelist", baselines.SVEdgeList))
+	RegisterAlgo(baselineAlgo("lp", baselines.LP))
+	RegisterAlgo(baselineAlgo("lp-datadriven", baselines.LPDataDriven))
+	RegisterAlgo(baselineAlgo("bfs", baselines.BFSCC))
+}

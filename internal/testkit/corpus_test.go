@@ -1,0 +1,61 @@
+package testkit
+
+import (
+	"testing"
+)
+
+// TestCorpusMeetsMatrixFloor: the acceptance matrix needs at least 20
+// graphs, unique names (names are replay handles), and a working
+// name lookup.
+func TestCorpusMeetsMatrixFloor(t *testing.T) {
+	cases := Corpus()
+	if len(cases) < 20 {
+		t.Fatalf("corpus has %d graphs, need >= 20", len(cases))
+	}
+	seen := map[string]bool{}
+	for _, c := range cases {
+		if seen[c.Name] {
+			t.Errorf("duplicate corpus name %q", c.Name)
+		}
+		seen[c.Name] = true
+		got, err := CaseByName(c.Name)
+		if err != nil {
+			t.Errorf("CaseByName(%q): %v", c.Name, err)
+		} else if got.Name != c.Name {
+			t.Errorf("CaseByName(%q) returned %q", c.Name, got.Name)
+		}
+	}
+	if _, err := CaseByName("definitely-not-a-graph"); err == nil {
+		t.Error("CaseByName accepted an unknown name")
+	}
+}
+
+// TestCorpusBuildsAreDeterministic: a ScheduleID names its graph by
+// corpus name, so Build must yield the byte-identical CSR every time —
+// including for the generator-backed cases, whose parallel sampling
+// must be schedule-independent.
+func TestCorpusBuildsAreDeterministic(t *testing.T) {
+	for _, c := range Corpus() {
+		a, b := c.Build(), c.Build()
+		if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+			t.Errorf("%s: rebuild changed shape: (%d,%d) vs (%d,%d)",
+				c.Name, a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+			continue
+		}
+		ao, bo := a.Offsets(), b.Offsets()
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Errorf("%s: rebuild changed offsets at %d", c.Name, i)
+				break
+			}
+		}
+		_, at := a.Adjacency(0, a.NumVertices())
+		_, bt := b.Adjacency(0, b.NumVertices())
+		for i := range at {
+			if at[i] != bt[i] {
+				t.Errorf("%s: rebuild changed targets at arc %d", c.Name, i)
+				break
+			}
+		}
+	}
+}

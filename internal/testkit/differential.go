@@ -1,0 +1,70 @@
+package testkit
+
+import "fmt"
+
+// Matrix is a differential sweep specification: every corpus case runs
+// under every (algo, seed, workers) combination, each seed exercising
+// both deterministic modes unless pinned — even seeds run
+// serial-interleave (fully replayable), odd seeds run permuted-parallel
+// (real worker races under seeded dispatch, what -race wants to see).
+type Matrix struct {
+	Algos   []string
+	Seeds   []uint64
+	Workers []int
+	// Mode pins the deterministic mode for all seeds: "serial",
+	// "parallel", or "" for the even/odd alternation above.
+	Mode string
+}
+
+// Failure is one failed cell of the matrix. The ScheduleID string is
+// the replay handle: feed it to ParseScheduleID + Replay to re-trigger
+// the failure under the identical schedule.
+type Failure struct {
+	ID  ScheduleID
+	Err error
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("[%s] %v", f.ID, f.Err)
+}
+
+func (m Matrix) serial(seed uint64) bool {
+	switch m.Mode {
+	case "serial":
+		return true
+	case "parallel":
+		return false
+	default:
+		return seed%2 == 0
+	}
+}
+
+// Run sweeps the matrix over the given corpus cases and returns every
+// failing cell (nil on a fully green sweep). Each case's graph and
+// oracle are built once; each cell then runs under its own pinned
+// deterministic schedule via runSchedule, with per-phase invariant
+// audits wherever the algorithm exposes phases.
+func (m Matrix) Run(cases []Case) []Failure {
+	var failures []Failure
+	for _, c := range cases {
+		g := c.Build()
+		oracle := Oracle(g)
+		for _, algo := range m.Algos {
+			for _, seed := range m.Seeds {
+				for _, workers := range m.Workers {
+					id := ScheduleID{
+						Graph:   c.Name,
+						Algo:    algo,
+						Seed:    seed,
+						Workers: workers,
+						Serial:  m.serial(seed),
+					}
+					if err := runSchedule(g, oracle, id); err != nil {
+						failures = append(failures, Failure{ID: id, Err: err})
+					}
+				}
+			}
+		}
+	}
+	return failures
+}

@@ -1,0 +1,69 @@
+// Package testkit is the correctness harness behind every algorithm in
+// this repository. Afforest's claims (Lemmas 1–5, Theorems 1–2 of the
+// paper) are schedule-independence claims — link/compress must reach
+// the same partition under any edge order, chunk partitioning, or
+// worker interleaving — so the harness makes the schedule an input:
+//
+//   - an adversarial graph corpus (corpus.go) of degenerate and
+//     worst-case topologies random generators rarely produce;
+//   - a differential Matrix runner (differential.go) that executes
+//     every registered algorithm under many scheduler seeds, worker
+//     counts, and both deterministic modes (serial-interleave and
+//     permuted-parallel, see concurrent.DetConfig), checking
+//     label-equivalence against the sequential union-find oracle;
+//   - per-phase invariant audits (invariants.go) hung on
+//     core.RunAudited: Invariant 1 (π(x) ≤ x, hence acyclicity),
+//     compress idempotence, and partition refinement against ground
+//     truth after every phase;
+//   - exact replay (replay.go): every failure prints a ScheduleID seed
+//     tuple, and Replay(id) re-runs the identical chunk interleaving.
+//
+// The package re-exports internal/validate's invariant checks so test
+// code has one API for both final-label validation and mid-run audits.
+package testkit
+
+import (
+	"sync"
+
+	"afforest/internal/graph"
+	"afforest/internal/validate"
+)
+
+// Re-exported validation API: testkit is the single entry point tests
+// use, whether they check a finished labeling or a mid-run forest.
+type (
+	// Violation is a structured invariant failure with a minimal
+	// vertex/edge witness; see validate.Violation.
+	Violation = validate.Violation
+	// Census is a component count + size summary; see validate.Census.
+	Census = validate.Census
+)
+
+// EdgeConsistent checks that every edge joins equally labeled endpoints.
+func EdgeConsistent(g *graph.CSR, labels []graph.V) error {
+	return validate.EdgeConsistent(g, labels)
+}
+
+// SamePartition checks two labelings induce the same vertex partition.
+func SamePartition(a, b []graph.V) error { return validate.SamePartition(a, b) }
+
+// ParentBound checks Invariant 1: π(x) ≤ x for every vertex.
+func ParentBound(p []graph.V) error { return validate.ParentBound(p) }
+
+// Idempotent checks π(π(x)) = π(x): every tree flattened to depth ≤ 1.
+func Idempotent(p []graph.V) error { return validate.Idempotent(p) }
+
+// Refines checks that partition fine refines partition coarse.
+func Refines(fine, coarse []graph.V) error { return validate.Refines(fine, coarse) }
+
+// ComputeCensus summarizes a labeling into component count and sizes.
+func ComputeCensus(labels []graph.V) Census { return validate.ComputeCensus(labels) }
+
+// AsViolation unwraps an error produced by any check into its
+// *Violation witness.
+func AsViolation(err error) (*Violation, bool) { return validate.AsViolation(err) }
+
+// schedMu serializes deterministic-scheduler sections. The mode lives
+// on the process-wide default pool, so two goroutines enabling it
+// concurrently would interleave job ordinals and destroy replayability.
+var schedMu sync.Mutex

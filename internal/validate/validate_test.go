@@ -57,6 +57,86 @@ func TestLabelingFullCheck(t *testing.T) {
 	}
 }
 
+func TestViolationWitnessesAreMinimal(t *testing.T) {
+	// Two bad edges; the reported witness must be the lowest-id one.
+	g := graph.Build([]graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}, graph.BuildOptions{})
+	err := EdgeConsistent(g, []graph.V{0, 1, 2, 9})
+	v, ok := AsViolation(err)
+	if !ok {
+		t.Fatalf("EdgeConsistent returned %T, want *Violation", err)
+	}
+	if v.Invariant != InvEdgeConsistent || v.EdgeU != 0 || v.EdgeV != 1 {
+		t.Fatalf("witness = %+v, want edge 0-1", v)
+	}
+
+	err = ParentBound([]graph.V{0, 1, 2, 5, 6})
+	v, _ = AsViolation(err)
+	if v == nil || v.Invariant != InvParentBound || v.Vertex != 3 {
+		t.Fatalf("ParentBound witness = %+v, want vertex 3", v)
+	}
+
+	err = SamePartition([]graph.V{0, 0, 1, 1}, []graph.V{5, 5, 5, 6})
+	v, _ = AsViolation(err)
+	if v == nil || v.Invariant != InvPartitionEqual || v.Vertex != 2 {
+		t.Fatalf("SamePartition witness = %+v, want vertex 2", v)
+	}
+}
+
+func TestParentBound(t *testing.T) {
+	if err := ParentBound([]graph.V{0, 0, 1, 3}); err != nil {
+		t.Fatalf("valid parent array rejected: %v", err)
+	}
+	if err := ParentBound(nil); err != nil {
+		t.Fatalf("empty parent array rejected: %v", err)
+	}
+	if err := ParentBound([]graph.V{1}); err == nil {
+		t.Fatal("π(0)=1 accepted")
+	}
+}
+
+func TestIdempotent(t *testing.T) {
+	if err := Idempotent([]graph.V{0, 0, 0, 3}); err != nil {
+		t.Fatalf("flat forest rejected: %v", err)
+	}
+	// 2 -> 1 -> 0: depth two.
+	err := Idempotent([]graph.V{0, 0, 1})
+	v, _ := AsViolation(err)
+	if v == nil || v.Invariant != InvIdempotent || v.Vertex != 2 {
+		t.Fatalf("Idempotent witness = %+v, want vertex 2", v)
+	}
+	if err := Idempotent([]graph.V{7}); err == nil {
+		t.Fatal("out-of-range parent accepted")
+	}
+}
+
+func TestRefines(t *testing.T) {
+	// {0,1},{2},{3} refines {0,1,2},{3}.
+	if err := Refines([]graph.V{0, 0, 2, 3}, []graph.V{9, 9, 9, 4}); err != nil {
+		t.Fatalf("finer partition rejected: %v", err)
+	}
+	// {0,1,2} does not refine {0,1},{2}.
+	err := Refines([]graph.V{0, 0, 0}, []graph.V{5, 5, 6})
+	v, _ := AsViolation(err)
+	if v == nil || v.Invariant != InvRefinement || v.Vertex != 2 {
+		t.Fatalf("Refines witness = %+v, want vertex 2", v)
+	}
+	if err := Refines([]graph.V{0}, []graph.V{0, 1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestCensusEqual(t *testing.T) {
+	a := ComputeCensus([]graph.V{1, 1, 2})
+	b := ComputeCensus([]graph.V{7, 7, 9})
+	if !a.Equal(b) {
+		t.Fatalf("isomorphic censuses unequal: %+v vs %+v", a, b)
+	}
+	c := ComputeCensus([]graph.V{1, 2, 2})
+	if len(c.Sizes) == len(a.Sizes) && a.Equal(c) && a.Sizes[0] != c.Sizes[0] {
+		t.Fatal("different censuses compared equal")
+	}
+}
+
 func TestComputeCensus(t *testing.T) {
 	c := ComputeCensus([]graph.V{5, 5, 5, 2, 2, 9})
 	if c.Components != 3 {
