@@ -13,9 +13,10 @@ test:
 	$(GO) test ./...
 
 # check is the correctness gate: static checks, the full test suite,
-# the race matrix over the schedule-sensitive packages, and a smoke run
-# of every fuzz target. This is what CI should run.
-check: vet build test race-matrix fuzz-smoke
+# the race matrix over the schedule-sensitive packages, a smoke run of
+# every fuzz target, and a run-vs-self pass of the perf gate. This is
+# what CI should run.
+check: vet build test race-matrix fuzz-smoke perfgate-smoke
 
 # The race detector only sees interleavings that happen, so the
 # schedule-sensitive packages run under three thread budgets: 1 (pure
@@ -42,4 +43,25 @@ fuzz-smoke:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
-.PHONY: all build vet test check race-matrix fuzz-smoke bench
+# perfgate measures the trajectory grid under the committed history's
+# configuration (scale 18, 9 runs, seed 42, single-threaded) and fails
+# on any cell regressing beyond the noise tolerance. Exercise the
+# failure path with:
+#   go run ./cmd/ccbench -gate -scale 18 -runs 9 -p 1 -inject-slowdown afforest/kron=2
+perfgate:
+	$(GO) run ./cmd/ccbench -gate -scale 18 -runs 9 -seed 42 -p 1
+
+# perfgate-smoke is the short-mode gate check inside `make check`: a
+# fresh small-scale measurement appended to a throwaway history must
+# pass a gate run against itself (run-vs-self), proving the gate
+# machinery works end-to-end. Scale-14 cells run in well under a
+# millisecond, so back-to-back noise on a shared VM routinely exceeds
+# the production 35% tolerance — the smoke widens it to 75%, which
+# still fails loudly on a 2x injected slowdown.
+perfgate-smoke:
+	@tmp=$$(mktemp) && rm -f $$tmp && \
+	$(GO) run ./cmd/ccbench -exp bench -benchout $$tmp -scale 14 -runs 3 -p 1 >/dev/null && \
+	$(GO) run ./cmd/ccbench -gate -baseline $$tmp -scale 14 -runs 3 -p 1 -tolerance 0.75 && \
+	rm -f $$tmp
+
+.PHONY: all build vet test check race-matrix fuzz-smoke bench perfgate perfgate-smoke

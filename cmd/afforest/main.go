@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"afforest"
+	"afforest/internal/concurrent"
 	"afforest/internal/core"
 	"afforest/internal/gen"
 	"afforest/internal/graph"
@@ -40,6 +41,7 @@ func main() {
 		topK     = flag.Int("top", 5, "print the K largest component sizes")
 		memTrace = flag.String("memtrace", "", "write a Fig 7-style π access trace (TSV) to this path and print the heat-map (afforest algorithms only)")
 		trace    = flag.String("trace", "", "write the run's phase tree as JSON lines to this path and print the per-phase breakdown (afforest algorithms only)")
+		flight   = flag.String("flight", "", "record the run on the flight recorder, write the per-worker event stream (JSONL) to this path, and print the worker timeline (afforest algorithms only)")
 	)
 	flag.Parse()
 
@@ -59,6 +61,13 @@ func main() {
 	}
 	if *trace != "" {
 		if err := writePhaseTrace(*in, *genName, *n, *scale, *deg, *seed, *algoName, *rounds, *par, *trace); err != nil {
+			fmt.Fprintln(os.Stderr, "afforest:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *flight != "" {
+		if err := writeFlight(*in, *genName, *n, *scale, *deg, *seed, *algoName, *rounds, *par, *flight); err != nil {
 			fmt.Fprintln(os.Stderr, "afforest:", err)
 			os.Exit(1)
 		}
@@ -181,6 +190,51 @@ func writePhaseTrace(in, genName string, n, scale, deg int, seed uint64, algoNam
 	fmt.Printf("trace: %d spans written to %s (run %v)\n",
 		len(rep.Spans), path, elapsed.Round(time.Microsecond))
 	return rep.WriteBreakdown(os.Stdout)
+}
+
+// writeFlight runs the core algorithm with the flight recorder on both
+// the worker pool (chunk events) and the observer chain (phase events),
+// dumps the per-worker event stream as JSON lines, and prints the
+// worker utilization timeline.
+func writeFlight(in, genName string, n, scale, deg int, seed uint64, algoName string, rounds, par int, path string) error {
+	g, err := loadOrGenerateCSR(in, genName, n, scale, deg, seed)
+	if err != nil {
+		return err
+	}
+	var skip bool
+	switch algoName {
+	case "afforest":
+		skip = true
+	case "afforest-noskip":
+		skip = false
+	default:
+		return fmt.Errorf("-flight supports afforest | afforest-noskip, not %q", algoName)
+	}
+	fr := obs.NewFlightRecorder(concurrent.DefaultPool().Size(), 0)
+	concurrent.DefaultPool().SetFlight(fr)
+	defer concurrent.DefaultPool().SetFlight(nil)
+	start := time.Now()
+	core.Run(g, core.Options{
+		NeighborRounds: rounds,
+		SkipLargest:    skip,
+		Parallelism:    par,
+		Seed:           seed,
+		Observer:       fr,
+	})
+	elapsed := time.Since(start)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := fr.WriteJSONL(f, obs.DumpOptions{})
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Printf("flight: event stream written to %s (run %v)\n", path, elapsed.Round(time.Microsecond))
+	return fr.WriteTimeline(os.Stdout, 0)
 }
 
 func loadOrGenerate(in, genName string, n, scale, deg int, seed uint64) (*afforest.Graph, error) {

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -29,7 +30,11 @@ import (
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment: table2 | table3 | fig6a | fig6b | fig6c | fig7 | fig8a | fig8b | fig8c | ablation-rounds | ablation-sample | ablation-relabel | ablation-compress | ext-dist | ext-gpu | bench | all")
-		benchOut = flag.String("benchout", "BENCH_afforest.json", "output path for the machine-readable perf trajectory written by -exp bench")
+		benchOut = flag.String("benchout", "BENCH_afforest.json", "perf-trajectory history file appended to by -exp bench")
+		gate     = flag.Bool("gate", false, "measure the trajectory grid and gate it against the baseline history: print the per-cell delta table, exit 1 on regression (read-only; does not append)")
+		baseline = flag.String("baseline", "", "history file the gate compares against (default: the -benchout path)")
+		slowCell = flag.String("inject-slowdown", "", "gate-validation aid: inflate one measured cell, e.g. afforest/kron=2 doubles its ns/edge before gating")
+		gateTol  = flag.Float64("tolerance", 0, "gate: floor on the allowed fractional slowdown per cell (0 = default 0.35); raise on noisy boxes or tiny scales")
 		scale    = flag.Int("scale", 0, "graph scale, ≈2^scale vertices (0 = default 16)")
 		runs     = flag.Int("runs", 0, "timed repetitions per configuration (0 = default 5; paper uses 16)")
 		seed     = flag.Uint64("seed", 42, "generator seed")
@@ -45,6 +50,22 @@ func main() {
 	if *trace != "" {
 		if err := tracedRun(*scale, *seed, *par, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "ccbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *gate {
+		path := *baseline
+		if path == "" {
+			path = *benchOut
+		}
+		ok, err := gateRun(cfg, path, *slowCell, *gateTol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccbench:", err)
+			os.Exit(1)
+		}
+		if !ok {
 			os.Exit(1)
 		}
 		return
@@ -80,18 +101,25 @@ func main() {
 		{"ext-gpu", func() { emit(bench.ExtGPU(cfg)) }},
 	}
 
-	// `bench` is the perf-trajectory mode: it emits BENCH_afforest.json
-	// (ns/edge for afforest, sv, lp on urand/kron) for the repository's
-	// before/after history. It is deliberately excluded from `all` so that
-	// figure regeneration never silently overwrites the committed record.
+	// `bench` is the perf-trajectory mode: it measures ns/edge for
+	// afforest, sv, lp on urand/kron and appends the run to the
+	// BENCH_afforest.json history. It is deliberately excluded from `all`
+	// so that figure regeneration never silently grows the committed
+	// record.
 	runBench := func() {
 		rep := bench.Trajectory(cfg)
 		emit(rep.Table())
-		if err := rep.WriteJSON(*benchOut); err != nil {
+		hist, err := bench.LoadHistory(*benchOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: reading %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+		hist.Append(rep)
+		if err := hist.WriteJSON(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "ccbench: writing %s: %v\n", *benchOut, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "[trajectory written to %s]\n", *benchOut)
+		fmt.Fprintf(os.Stderr, "[trajectory appended to %s (%d runs on record)]\n", *benchOut, len(hist.History))
 	}
 
 	selected := strings.Split(*exp, ",")
@@ -118,6 +146,58 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\n", *exp)
 		os.Exit(1)
 	}
+}
+
+// gateRun measures the trajectory grid and gates it against the
+// history at path. slowCell, when non-empty ("algorithm/graph=factor"),
+// inflates that cell's measurement before gating — the knob `make
+// perfgate` documentation uses to prove the gate actually fails on a
+// real slowdown.
+func gateRun(cfg bench.Config, path, slowCell string, tol float64) (bool, error) {
+	hist, err := bench.LoadHistory(path)
+	if err != nil {
+		return false, err
+	}
+	rep := bench.Trajectory(cfg)
+	if slowCell != "" {
+		key, factorStr, ok := strings.Cut(slowCell, "=")
+		if !ok {
+			return false, fmt.Errorf("bad -inject-slowdown %q (want algorithm/graph=factor)", slowCell)
+		}
+		factor, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil {
+			return false, fmt.Errorf("bad -inject-slowdown factor %q: %v", factorStr, err)
+		}
+		hit := false
+		for i := range rep.Entries {
+			e := &rep.Entries[i]
+			if e.Algorithm+"/"+e.Graph == key {
+				e.NSPerEdge *= factor
+				e.MedianMS *= factor
+				hit = true
+			}
+		}
+		if !hit {
+			return false, fmt.Errorf("-inject-slowdown cell %q not in the trajectory grid", key)
+		}
+		fmt.Fprintf(os.Stderr, "[injected %sx slowdown into %s]\n", factorStr, key)
+	}
+	verdict := hist.GateAgainst(rep, obs.GateConfig{RelTolerance: tol})
+	if err := verdict.WriteTable(os.Stdout); err != nil {
+		return false, err
+	}
+	if !verdict.OK() {
+		bad := verdict.Regressed()
+		fmt.Fprintf(os.Stderr, "ccbench: perf gate FAILED: %d cell(s) regressed vs %s (%d baseline runs)\n",
+			len(bad), path, verdict.BaselineRuns)
+		for _, c := range bad {
+			fmt.Fprintf(os.Stderr, "  %s/%s: %.3f -> %.3f ns/edge (%+.1f%%, tolerance %.0f%%)\n",
+				c.Algorithm, c.Graph, c.Baseline, c.New, c.Delta*100, c.Tolerance*100)
+		}
+		return false, nil
+	}
+	fmt.Fprintf(os.Stderr, "[perf gate ok vs %s (%d baseline runs)]\n", path, verdict.BaselineRuns)
+	return true, nil
 }
 
 // tracedRun executes one Afforest pass over the benchmark Kronecker

@@ -28,15 +28,18 @@ import (
 	"syscall"
 	"time"
 
+	"afforest/internal/concurrent"
 	"afforest/internal/gen"
 	"afforest/internal/graph"
+	"afforest/internal/obs"
 	"afforest/internal/serve"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		debug    = flag.String("debug-addr", "", "serve net/http/pprof profiling handlers on this address (empty = disabled; keep it loopback-only)")
+		debug    = flag.String("debug-addr", "", "serve net/http/pprof and /debug/flight on this address (empty = disabled; keep it loopback-only)")
+		flightSz = flag.Int("flight", 0, "flight-recorder ring capacity per worker (0 = default; recorder is always on when -debug-addr is set)")
 		in       = flag.String("in", "", "input graph file (.csr binary or text edge list); mutually exclusive with -gen/-restore")
 		genName  = flag.String("gen", "", "generate a graph: urand | kron | road | twitter | web | regular")
 		n        = flag.Int("n", 1<<16, "vertices for -gen (urand/road/twitter/web/regular)")
@@ -65,6 +68,14 @@ func main() {
 		SnapshotEvery: *snapEach,
 		Parallelism:   *par,
 	}
+	// With a debug listener the flight recorder is always on: its
+	// steady-state cost is per-chunk, not per-edge, and /debug/flight is
+	// the first thing to pull when the service misbehaves. Anomaly
+	// firings snapshot it automatically (serve wires AttachFlight).
+	if *debug != "" {
+		cfg.Flight = obs.NewFlightRecorder(concurrent.DefaultPool().Size(), *flightSz)
+		http.Handle("/debug/flight", cfg.Flight.Handler())
+	}
 
 	if *loadtest {
 		if err := loadtestMain(*target, *in, *genName, *restore, *n, *scale, *deg, *seed, cfg,
@@ -85,10 +96,10 @@ func main() {
 
 	if *debug != "" {
 		// pprof registers on http.DefaultServeMux via its import side
-		// effect; a separate listener keeps profiling off the service
-		// address.
+		// effect, and /debug/flight was mounted there above; a separate
+		// listener keeps both off the service address.
 		go func() {
-			fmt.Printf("pprof on http://%s/debug/pprof/\n", *debug)
+			fmt.Printf("pprof on http://%s/debug/pprof/, flight recorder on http://%s/debug/flight\n", *debug, *debug)
 			if err := http.ListenAndServe(*debug, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "ccserve: debug listener:", err)
 			}

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 
 	"afforest/internal/baselines"
@@ -31,6 +33,8 @@ type TrajectoryEntry struct {
 // successive PRs accumulate a before/after history of the hot paths.
 type TrajectoryReport struct {
 	Date        string            `json:"date"`
+	Commit      string            `json:"commit,omitempty"`     // short git hash, "" when not in a checkout
+	GoVersion   string            `json:"go_version,omitempty"` // runtime.Version() of the measuring binary
 	Scale       int               `json:"scale"`
 	Runs        int               `json:"runs"`
 	Seed        uint64            `json:"seed"`
@@ -57,6 +61,8 @@ func Trajectory(cfg Config) *TrajectoryReport {
 	cfg = cfg.withDefaults()
 	rep := &TrajectoryReport{
 		Date:        time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		Commit:      gitCommit(),
+		GoVersion:   runtime.Version(),
 		Scale:       cfg.Scale,
 		Runs:        cfg.Runs,
 		Seed:        cfg.Seed,
@@ -88,6 +94,18 @@ func Trajectory(cfg Config) *TrajectoryReport {
 		}
 	}
 	return rep
+}
+
+// gitCommit returns the short hash of HEAD, or "" when the binary runs
+// outside a git checkout (trajectory entries still record the date and
+// Go version). Best-effort on purpose: a perf record must never fail
+// because git is absent.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // Table renders the report for terminal output alongside the JSON.

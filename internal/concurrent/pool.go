@@ -42,12 +42,23 @@ type Pool struct {
 	// metrics.
 	det    atomic.Pointer[DetConfig]
 	detSeq atomic.Uint64
+
+	// flight, when set, receives job/chunk events into per-worker ring
+	// buffers. Same one-atomic-load disabled path as metrics, pinned by
+	// TestFlightRecorderDisabledOverheadGuard; when on, chunks pay one
+	// clock read each (the busy intervals are the point).
+	flight atomic.Pointer[obs.FlightRecorder]
 }
 
 // SetMetrics installs (or, with nil, removes) the utilization metrics
 // the pool reports into. Safe to call concurrently with running jobs;
 // jobs already in flight finish under the sink they started with.
 func (pl *Pool) SetMetrics(m *obs.PoolMetrics) { pl.metrics.Store(m) }
+
+// SetFlight installs (or, with nil, removes) the flight recorder the
+// pool records job and chunk events into. Same in-flight semantics as
+// SetMetrics.
+func (pl *Pool) SetFlight(f *obs.FlightRecorder) { pl.flight.Store(f) }
 
 // poolTask hands a job to one recruited worker together with its
 // participant id (the submitter is always id 0).
@@ -71,11 +82,16 @@ type poolJob struct {
 	// gauge.
 	metrics *obs.PoolMetrics
 	busy    []int64
+
+	// Set only when the pool has a flight recorder installed: every
+	// chunk records a claim event under flightJob.
+	flight    *obs.FlightRecorder
+	flightJob uint32
 }
 
 func (j *poolJob) run(worker int) {
-	if j.metrics != nil {
-		j.runMetered(worker)
+	if j.metrics != nil || j.flight != nil {
+		j.runInstrumented(worker)
 		return
 	}
 	g := int64(j.grain)
@@ -92,10 +108,12 @@ func (j *poolJob) run(worker int) {
 	}
 }
 
-// runMetered is run with per-worker accounting: one clock read around
-// the whole claim loop (not per chunk) and sharded counter adds on the
-// way out, so metered jobs stay within noise of unmetered ones.
-func (j *poolJob) runMetered(worker int) {
+// runInstrumented is run with accounting. Metrics cost one clock read
+// around the whole claim loop (not per chunk) and sharded counter adds
+// on the way out, so metered jobs stay within noise of unmetered ones;
+// the flight recorder additionally times each chunk body, since the
+// per-chunk busy intervals are exactly what its timeline reconstructs.
+func (j *poolJob) runInstrumented(worker int) {
 	start := time.Now()
 	var chunks int64
 	g := int64(j.grain)
@@ -108,14 +126,22 @@ func (j *poolJob) runMetered(worker int) {
 		if hi > j.n {
 			hi = j.n
 		}
-		j.body(int(lo), hi, worker)
+		if j.flight != nil {
+			t0 := time.Now()
+			j.body(int(lo), hi, worker)
+			j.flight.ChunkClaim(j.flightJob, worker, int(lo), hi, time.Since(t0).Nanoseconds())
+		} else {
+			j.body(int(lo), hi, worker)
+		}
 		chunks++
 	}
-	busyNS := time.Since(start).Nanoseconds()
-	j.metrics.Busy.AddShard(worker, busyNS)
-	j.metrics.Chunks.AddShard(worker, chunks)
-	if worker < len(j.busy) {
-		j.busy[worker] = busyNS
+	if j.metrics != nil {
+		busyNS := time.Since(start).Nanoseconds()
+		j.metrics.Busy.AddShard(worker, busyNS)
+		j.metrics.Chunks.AddShard(worker, chunks)
+		if worker < len(j.busy) {
+			j.busy[worker] = busyNS
+		}
 	}
 }
 
@@ -202,29 +228,48 @@ func (pl *Pool) ForRange(n, p, grain int, body func(lo, hi, worker int)) {
 		pl.forRangeDet(d, n, p, grain, body)
 		return
 	}
-	pl.dispatch(n, p, grain, body)
+	pl.dispatch(n, p, grain, body, pl.flight.Load())
 }
 
 // dispatch is the production scheduling path: parameters arrive
-// normalized (n > 0, grain > 0, 1 <= p <= chunk count).
-func (pl *Pool) dispatch(n, p, grain int, body func(lo, hi, worker int)) {
+// normalized (n > 0, grain > 0, 1 <= p <= chunk count). fl is the
+// flight recorder to feed, or nil; it is a parameter rather than a load
+// so the deterministic path can record its own (real, permuted) chunk
+// events and hand dispatch a nil.
+func (pl *Pool) dispatch(n, p, grain int, body func(lo, hi, worker int), fl *obs.FlightRecorder) {
 	m := pl.metrics.Load()
 	if p <= 1 {
-		if m == nil {
+		if m == nil && fl == nil {
 			body(0, n, 0)
 			return
 		}
+		var job uint32
+		if fl != nil {
+			job = fl.JobStart(n, grain, 1)
+		}
 		start := time.Now()
 		body(0, n, 0)
-		m.Busy.Add(time.Since(start).Nanoseconds())
-		m.Chunks.Inc()
-		m.Jobs.Inc()
-		m.Imbalance.Set(1)
+		durNS := time.Since(start).Nanoseconds()
+		if fl != nil {
+			fl.ChunkClaim(job, 0, 0, n, durNS)
+			fl.JobEnd(job, n, durNS)
+		}
+		if m != nil {
+			m.Busy.Add(durNS)
+			m.Chunks.Inc()
+			m.Jobs.Inc()
+			m.Imbalance.Set(1)
+		}
 		return
 	}
-	job := &poolJob{n: n, grain: grain, body: body, metrics: m}
+	job := &poolJob{n: n, grain: grain, body: body, metrics: m, flight: fl}
 	if m != nil {
 		job.busy = make([]int64, p)
+	}
+	var start time.Time
+	if fl != nil {
+		job.flightJob = fl.JobStart(n, grain, p)
+		start = time.Now()
 	}
 	slots := pl.grab(p - 1)
 	job.wg.Add(len(slots))
@@ -233,9 +278,16 @@ func (pl *Pool) dispatch(n, p, grain int, body func(lo, hi, worker int)) {
 	}
 	job.run(0)
 	job.wg.Wait()
+	if fl != nil {
+		fl.JobEnd(job.flightJob, n, time.Since(start).Nanoseconds())
+	}
 	if m != nil {
 		m.Jobs.Inc()
-		m.Imbalance.Set(jobImbalance(job.busy))
+		r := jobImbalance(job.busy)
+		m.Imbalance.Set(r)
+		if m.OnJob != nil {
+			m.OnJob(r)
+		}
 	}
 }
 

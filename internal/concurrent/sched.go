@@ -1,5 +1,7 @@
 package concurrent
 
+import "time"
+
 // Deterministic, seed-controlled scheduling. Afforest's correctness
 // claims (Lemmas 1–5, Theorems 1–2) are schedule-independence claims:
 // link/compress must converge to the same partition under any edge
@@ -62,16 +64,33 @@ func (pl *Pool) SetDeterministic(cfg *DetConfig) {
 func SetDeterministic(cfg *DetConfig) { DefaultPool().SetDeterministic(cfg) }
 
 // forRangeDet is the deterministic ForRange path. Parameters arrive
-// normalized (n > 0, grain > 0, 1 <= p <= ceil(n/grain)).
+// normalized (n > 0, grain > 0, 1 <= p <= ceil(n/grain)). The flight
+// feed lives here rather than in the inner dispatch so the recorded
+// chunk events carry the real [lo, hi) index ranges, not positions in
+// the permutation — under Serial mode a pinned seed therefore yields a
+// byte-identical canonical event stream across replays.
 func (pl *Pool) forRangeDet(d *DetConfig, n, p, grain int, body func(lo, hi, worker int)) {
 	chunks := (n + grain - 1) / grain
 	ord := pl.detSeq.Add(1) - 1
 	perm := detPerm(chunks, detMix(d.Seed^(ord+1)*0x9e3779b97f4a7c15))
+	fl := pl.flight.Load()
+	var flightJob uint32
+	var flightStart time.Time
+	if fl != nil {
+		flightJob = fl.JobStart(n, grain, p)
+		flightStart = time.Now()
+	}
 	run := func(i, worker int) {
 		lo := perm[i] * grain
 		hi := lo + grain
 		if hi > n {
 			hi = n
+		}
+		if fl != nil {
+			t0 := time.Now()
+			body(lo, hi, worker)
+			fl.ChunkClaim(flightJob, worker, lo, hi, time.Since(t0).Nanoseconds())
+			return
 		}
 		body(lo, hi, worker)
 	}
@@ -82,16 +101,23 @@ func (pl *Pool) forRangeDet(d *DetConfig, n, p, grain int, body func(lo, hi, wor
 		for i := 0; i < chunks; i++ {
 			run(i, i%p)
 		}
+		if fl != nil {
+			fl.JobEnd(flightJob, n, time.Since(flightStart).Nanoseconds())
+		}
 		return
 	}
 	// Permuted-parallel: positions in the permutation are claimed from
 	// the ordinary ticket counter (grain 1), so workers interleave for
-	// real but dispatch order is the seeded permutation.
+	// real but dispatch order is the seeded permutation. The nil flight
+	// keeps dispatch from double-recording permutation-position chunks.
 	pl.dispatch(chunks, p, 1, func(plo, phi, worker int) {
 		for i := plo; i < phi; i++ {
 			run(i, worker)
 		}
-	})
+	}, nil)
+	if fl != nil {
+		fl.JobEnd(flightJob, n, time.Since(flightStart).Nanoseconds())
+	}
 }
 
 // detPerm returns a seeded Fisher–Yates permutation of [0, n).

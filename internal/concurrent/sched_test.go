@@ -175,7 +175,7 @@ func forRangeNoDetCheck(pl *Pool, n, p, grain int, body func(lo, hi, worker int)
 	if chunks := (n + grain - 1) / grain; p > chunks {
 		p = chunks
 	}
-	pl.dispatch(n, p, grain, body)
+	pl.dispatch(n, p, grain, body, nil)
 }
 
 func schedGuardBody(sink []int64) func(lo, hi, worker int) {

@@ -19,6 +19,7 @@ type LinkStats struct {
 	Iterations int64
 	MaxIters   int64
 	CASFails   int64
+	Merges     int64 // successful hook CASes: edges that united two trees
 }
 
 // MeanIterations returns average Link loop iterations per call.
@@ -34,6 +35,7 @@ func (s *LinkStats) merge(o *LinkStats) {
 	s.Calls += o.Calls
 	s.Iterations += o.Iterations
 	s.CASFails += o.CASFails
+	s.Merges += o.Merges
 	if o.MaxIters > s.MaxIters {
 		s.MaxIters = o.MaxIters
 	}
@@ -50,6 +52,7 @@ func (s *LinkStats) PhaseStats() obs.PhaseStats {
 		Iters:      s.Iterations,
 		MaxIters:   s.MaxIters,
 		CASRetries: s.CASFails,
+		Merges:     s.Merges,
 	}
 }
 
@@ -79,6 +82,7 @@ func LinkCounted(p Parent, u, v graph.V, st *LinkStats) {
 		}
 		if ph == h {
 			if p.cas(h, h, l) {
+				st.Merges++
 				break
 			}
 			st.CASFails++
@@ -137,6 +141,7 @@ func (o *runStatsObserver) EndPhase(_ obs.SpanID, st obs.PhaseStats) {
 	o.rs.Link.Calls += st.Links
 	o.rs.Link.Iterations += st.Iters
 	o.rs.Link.CASFails += st.CASRetries
+	o.rs.Link.Merges += st.Merges
 	if st.MaxIters > o.rs.Link.MaxIters {
 		o.rs.Link.MaxIters = st.MaxIters
 	}

@@ -108,6 +108,7 @@ func TestRunInstrumentedWithObserver(t *testing.T) {
 		fromSpans.Calls += s.Stats.Links
 		fromSpans.Iterations += s.Stats.Iters
 		fromSpans.CASFails += s.Stats.CASRetries
+		fromSpans.Merges += s.Stats.Merges
 		if s.Stats.MaxIters > fromSpans.MaxIters {
 			fromSpans.MaxIters = s.Stats.MaxIters
 		}

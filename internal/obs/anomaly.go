@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// The anomaly detector watches the observer event stream for the
+// specific ways an Afforest deployment goes wrong: link rounds that
+// stop converging, a sampled skip ratio too small for Theorem 3's
+// skipping argument to pay off, worker imbalance that defeats the
+// edge-balanced scheduler, and incremental-batch latency spikes. Each
+// rule firing increments afforest_anomalies_total{rule=...}, appends a
+// structured JSONL record to the sink, and — when a flight recorder is
+// attached — captures an automatic canonical snapshot of the last few
+// thousand per-worker events leading up to the firing.
+
+// Anomaly rule names (the rule label on afforest_anomalies_total and
+// the "rule" field of every record).
+const (
+	RuleConvergenceStall  = "convergence_stall"
+	RuleSkipRatioCollapse = "skip_ratio_collapse"
+	RuleWorkerImbalance   = "worker_imbalance"
+	RuleLatencySpike      = "latency_spike"
+)
+
+// AnomalyConfig bounds the detector's rules. The zero value means
+// "default" for every field.
+type AnomalyConfig struct {
+	// StallDecay is the minimum fractional links/round decay between
+	// consecutive neighbor rounds; a round whose link count fails to
+	// drop at least this fraction below the previous round's counts as
+	// stalled. Default 0.05.
+	StallDecay float64
+	// StallRounds is how many consecutive stalled rounds fire
+	// convergence_stall. Default 3.
+	StallRounds int
+	// SkipRatioMin is the smallest healthy sampled skip ratio; a sample
+	// phase reporting a nonzero ratio below it fires
+	// skip_ratio_collapse (Theorem 3's precondition — a dominant
+	// intermediate component — is failing). Default 0.10.
+	SkipRatioMin float64
+	// ImbalanceMax is the largest healthy max-over-mean worker busy
+	// ratio per job. Default 8.
+	ImbalanceMax float64
+	// LatencyFactor fires latency_spike when one observed sample
+	// exceeds this multiple of the exponentially-weighted running mean.
+	// Default 16.
+	LatencyFactor float64
+	// LatencyWarmup is how many samples feed the running mean before
+	// the spike rule arms. Default 32.
+	LatencyWarmup int
+	// MinInterval rate-limits each rule: after a firing, the same rule
+	// stays quiet for this long. Default 1s; negative disables the
+	// limit (tests).
+	MinInterval time.Duration
+}
+
+func (c AnomalyConfig) withDefaults() AnomalyConfig {
+	if c.StallDecay == 0 {
+		c.StallDecay = 0.05
+	}
+	if c.StallRounds == 0 {
+		c.StallRounds = 3
+	}
+	if c.SkipRatioMin == 0 {
+		c.SkipRatioMin = 0.10
+	}
+	if c.ImbalanceMax == 0 {
+		c.ImbalanceMax = 8
+	}
+	if c.LatencyFactor == 0 {
+		c.LatencyFactor = 16
+	}
+	if c.LatencyWarmup == 0 {
+		c.LatencyWarmup = 32
+	}
+	if c.MinInterval == 0 {
+		c.MinInterval = time.Second
+	}
+	return c
+}
+
+// AnomalyRecord is one rule firing.
+type AnomalyRecord struct {
+	Seq    uint64  `json:"seq"`
+	TimeNS int64   `json:"time_ns,omitempty"` // wall clock, omitted from the retained ring's canonical uses
+	Rule   string  `json:"rule"`
+	Detail string  `json:"detail"`
+	Value  float64 `json:"value"`
+	Limit  float64 `json:"limit"`
+}
+
+// anomalyKeep is how many recent records the detector retains for
+// /stats.
+const anomalyKeep = 64
+
+// AnomalyDetector implements Observer over the rules above. It is safe
+// for concurrent use (the serve layer's batcher ends spans from its own
+// goroutine while the latency tap fires from handlers).
+type AnomalyDetector struct {
+	cfg AnomalyConfig
+
+	total   *Counter
+	byRule  map[string]*Counter
+	reg     *Registry
+	countMu sync.Mutex
+
+	mu        sync.Mutex
+	sink      io.Writer
+	flight    *FlightRecorder
+	snapshot  []byte // canonical flight dump captured at the last firing
+	recent    []AnomalyRecord
+	seq       uint64
+	lastFire  map[string]time.Time
+	open      map[SpanID]string
+	nextID    SpanID
+	prevLinks int64
+	stallRun  int
+	latMean   float64
+	latN      int
+}
+
+// NewAnomalyDetector builds a detector with counters bound in reg (nil
+// means no counters) and the given config (zero-value fields default).
+func NewAnomalyDetector(reg *Registry, cfg AnomalyConfig) *AnomalyDetector {
+	d := &AnomalyDetector{
+		cfg:      cfg.withDefaults(),
+		reg:      reg,
+		byRule:   make(map[string]*Counter),
+		lastFire: make(map[string]time.Time),
+		open:     make(map[SpanID]string),
+	}
+	if reg != nil {
+		d.total = reg.Counter("afforest_anomalies_total", "Anomaly rule firings.")
+	}
+	return d
+}
+
+// SetSink directs each firing's JSONL record to w (nil disables).
+func (d *AnomalyDetector) SetSink(w io.Writer) {
+	d.mu.Lock()
+	d.sink = w
+	d.mu.Unlock()
+}
+
+// AttachFlight makes every firing capture a canonical flight snapshot
+// from f (nil detaches).
+func (d *AnomalyDetector) AttachFlight(f *FlightRecorder) {
+	d.mu.Lock()
+	d.flight = f
+	d.mu.Unlock()
+}
+
+// LastSnapshot returns the flight snapshot captured at the most recent
+// firing (nil when none fired since AttachFlight).
+func (d *AnomalyDetector) LastSnapshot() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snapshot
+}
+
+// Recent returns the retained firings, oldest first (empty, never nil,
+// so /stats renders an array).
+func (d *AnomalyDetector) Recent() []AnomalyRecord {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append(make([]AnomalyRecord, 0, len(d.recent)), d.recent...)
+}
+
+// Count returns the total firings (0 when the detector has no
+// registry).
+func (d *AnomalyDetector) Count() int64 {
+	if d.total == nil {
+		return 0
+	}
+	return d.total.Value()
+}
+
+// ruleCounter returns the per-rule labeled counter, creating it on
+// first firing.
+func (d *AnomalyDetector) ruleCounter(rule string) *Counter {
+	if d.reg == nil {
+		return nil
+	}
+	d.countMu.Lock()
+	defer d.countMu.Unlock()
+	c := d.byRule[rule]
+	if c == nil {
+		c = d.reg.Counter("afforest_anomalies_total", "Anomaly rule firings.", L("rule", rule))
+		d.byRule[rule] = c
+	}
+	return c
+}
+
+// fire records one rule firing: counter, JSONL record, flight
+// snapshot. Callers hold no detector lock.
+func (d *AnomalyDetector) fire(rule, detail string, value, limit float64) {
+	now := time.Now()
+	d.mu.Lock()
+	if d.cfg.MinInterval > 0 {
+		if last, ok := d.lastFire[rule]; ok && now.Sub(last) < d.cfg.MinInterval {
+			d.mu.Unlock()
+			return
+		}
+	}
+	d.lastFire[rule] = now
+	d.seq++
+	rec := AnomalyRecord{
+		Seq: d.seq, TimeNS: now.UnixNano(),
+		Rule: rule, Detail: detail, Value: value, Limit: limit,
+	}
+	d.recent = append(d.recent, rec)
+	if len(d.recent) > anomalyKeep {
+		d.recent = d.recent[len(d.recent)-anomalyKeep:]
+	}
+	sink, fl := d.sink, d.flight
+	if fl != nil {
+		d.snapshot = fl.Snapshot(DumpOptions{Canonical: true})
+	}
+	d.mu.Unlock()
+
+	if c := d.ruleCounter(rule); c != nil {
+		c.Inc()
+	}
+	if d.total != nil {
+		d.total.Inc()
+	}
+	if sink != nil {
+		if b, err := json.Marshal(rec); err == nil {
+			sink.Write(append(b, '\n'))
+		}
+	}
+}
+
+// --- Observer ---
+
+// BeginPhase tracks the span name; a new run resets the stall state.
+func (d *AnomalyDetector) BeginPhase(name string) SpanID {
+	d.mu.Lock()
+	id := d.nextID
+	d.nextID++
+	d.open[id] = name
+	if name == PhaseRun {
+		d.prevLinks = 0
+		d.stallRun = 0
+	}
+	d.mu.Unlock()
+	return id
+}
+
+// EndPhase feeds the convergence-stall and skip-ratio rules.
+func (d *AnomalyDetector) EndPhase(id SpanID, st PhaseStats) {
+	d.mu.Lock()
+	name, ok := d.open[id]
+	delete(d.open, id)
+	if !ok {
+		d.mu.Unlock()
+		return
+	}
+	var fireStall, fireSkip bool
+	var stallLinks int64
+	var stallRounds int
+	switch name {
+	case PhaseNeighborRound:
+		if d.prevLinks > 0 && float64(st.Links) > float64(d.prevLinks)*(1-d.cfg.StallDecay) {
+			d.stallRun++
+			if d.stallRun >= d.cfg.StallRounds {
+				fireStall = true
+				stallLinks = st.Links
+				stallRounds = d.stallRun
+				d.stallRun = 0
+			}
+		} else {
+			d.stallRun = 0
+		}
+		d.prevLinks = st.Links
+	case PhaseSample:
+		fireSkip = st.SkipRatio > 0 && st.SkipRatio < d.cfg.SkipRatioMin
+	}
+	d.mu.Unlock()
+
+	if fireStall {
+		d.fire(RuleConvergenceStall,
+			fmt.Sprintf("links/round not decaying: %d rounds within %.0f%% of previous (last %d links)",
+				stallRounds, d.cfg.StallDecay*100, stallLinks),
+			float64(stallLinks), d.cfg.StallDecay)
+	}
+	if fireSkip {
+		d.fire(RuleSkipRatioCollapse,
+			fmt.Sprintf("sampled skip ratio %.3f below %.3f: no dominant intermediate component, final-pass skipping will not pay off",
+				st.SkipRatio, d.cfg.SkipRatioMin),
+			st.SkipRatio, d.cfg.SkipRatioMin)
+	}
+}
+
+// --- direct feeds ---
+
+// ObserveImbalance feeds the worker-imbalance rule with one job's
+// max-over-mean busy ratio (the pool reports it per job through
+// PoolMetrics.OnJob).
+func (d *AnomalyDetector) ObserveImbalance(ratio float64) {
+	if ratio > d.cfg.ImbalanceMax {
+		d.fire(RuleWorkerImbalance,
+			fmt.Sprintf("job max-over-mean worker busy ratio %.2f exceeds %.2f", ratio, d.cfg.ImbalanceMax),
+			ratio, d.cfg.ImbalanceMax)
+	}
+}
+
+// ObserveLatency feeds the latency-spike rule with one sample in
+// nanoseconds (wired as a stats.LatencyRecorder tap). The rule arms
+// after LatencyWarmup samples and fires when a sample exceeds
+// LatencyFactor times the running mean.
+func (d *AnomalyDetector) ObserveLatency(ns float64) {
+	d.mu.Lock()
+	mean, n := d.latMean, d.latN
+	armed := n >= d.cfg.LatencyWarmup && mean > 0
+	spike := armed && ns > d.cfg.LatencyFactor*mean
+	// EWMA with alpha 1/16; spikes are excluded so one outlier does not
+	// drag the baseline up and mask a sustained regression.
+	if !spike {
+		if n == 0 {
+			d.latMean = ns
+		} else {
+			d.latMean = mean + (ns-mean)/16
+		}
+		d.latN = n + 1
+	}
+	d.mu.Unlock()
+
+	if spike {
+		d.fire(RuleLatencySpike,
+			fmt.Sprintf("batch latency %.0fns is %.1fx the running mean %.0fns", ns, ns/mean, mean),
+			ns, d.cfg.LatencyFactor*mean)
+	}
+}

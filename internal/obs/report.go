@@ -46,11 +46,14 @@ func childMap(spans []Span) map[SpanID]bool {
 
 // BreakdownRow is one leaf phase of the breakdown table.
 type BreakdownRow struct {
-	Name      string  `json:"name"`
-	DurNS     int64   `json:"dur_ns"`
-	Edges     int64   `json:"edges"`
-	NSPerEdge float64 `json:"ns_per_edge"` // 0 when the phase handed no edges to Link
-	PctWall   float64 `json:"pct_wall"`
+	Name       string  `json:"name"`
+	DurNS      int64   `json:"dur_ns"`
+	Edges      int64   `json:"edges"`
+	NSPerEdge  float64 `json:"ns_per_edge"` // 0 when the phase handed no edges to Link
+	Links      int64   `json:"links,omitempty"`
+	CASRetries int64   `json:"cas_retries,omitempty"`
+	CASPerLink float64 `json:"cas_per_link,omitempty"` // contention density: retries per Link call
+	PctWall    float64 `json:"pct_wall"`
 }
 
 // Rows returns the leaf phases in execution order.
@@ -61,9 +64,15 @@ func (r *Report) Rows() []BreakdownRow {
 		if hasChild[s.ID] {
 			continue
 		}
-		row := BreakdownRow{Name: s.Name, DurNS: s.DurNS, Edges: s.Stats.Edges}
+		row := BreakdownRow{
+			Name: s.Name, DurNS: s.DurNS, Edges: s.Stats.Edges,
+			Links: s.Stats.Links, CASRetries: s.Stats.CASRetries,
+		}
 		if s.Stats.Edges > 0 {
 			row.NSPerEdge = float64(s.DurNS) / float64(s.Stats.Edges)
+		}
+		if s.Stats.Links > 0 {
+			row.CASPerLink = float64(s.Stats.CASRetries) / float64(s.Stats.Links)
 		}
 		if r.TotalNS > 0 {
 			row.PctWall = 100 * float64(s.DurNS) / float64(r.TotalNS)
@@ -84,39 +93,47 @@ func (r *Report) LeafNS() int64 {
 	return sum
 }
 
+// breakdownNameWidth fixes the phase column's width: wide enough for
+// every phase constant in obs.go, and constant so the columns sit in
+// the same place whatever subset of phases a run exercised (the golden
+// test pins the exact layout).
+const breakdownNameWidth = 16 // len(PhaseEdgeBatch)
+
 // WriteBreakdown renders the per-phase table: wall time, edges handed
-// to Link, ns/edge, and share of total wall (mirroring the paper's
-// Fig 7 phase decomposition).
+// to Link, ns/edge, CAS retries per Link call, and share of total wall
+// (mirroring the paper's Fig 7 phase decomposition). Column positions
+// are fixed across runs.
 func (r *Report) WriteBreakdown(w io.Writer) error {
-	rows := r.Rows()
-	wName := len("TOTAL")
-	for _, row := range rows {
-		if len(row.Name) > wName {
-			wName = len(row.Name)
-		}
-	}
-	if _, err := fmt.Fprintf(w, "%-*s  %14s  %12s  %9s  %7s\n", wName, "phase", "wall", "edges", "ns/edge", "% wall"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-*s  %14s  %12s  %9s  %9s  %7s\n",
+		breakdownNameWidth, "phase", "wall", "edges", "ns/edge", "cas/link", "% wall"); err != nil {
 		return err
 	}
-	for _, row := range rows {
-		nsEdge := "-"
+	var links, retries int64
+	for _, row := range r.Rows() {
+		nsEdge, edges := "-", "-"
 		if row.Edges > 0 {
 			nsEdge = fmt.Sprintf("%.2f", row.NSPerEdge)
-		}
-		edges := "-"
-		if row.Edges > 0 {
 			edges = fmt.Sprintf("%d", row.Edges)
 		}
-		if _, err := fmt.Fprintf(w, "%-*s  %12dns  %12s  %9s  %6.1f%%\n",
-			wName, row.Name, row.DurNS, edges, nsEdge, row.PctWall); err != nil {
+		casLink := "-"
+		if row.Links > 0 {
+			casLink = fmt.Sprintf("%.3f", row.CASPerLink)
+		}
+		links += row.Links
+		retries += row.CASRetries
+		if _, err := fmt.Fprintf(w, "%-*s  %12dns  %12s  %9s  %9s  %6.1f%%\n",
+			breakdownNameWidth, row.Name, row.DurNS, edges, nsEdge, casLink, row.PctWall); err != nil {
 			return err
 		}
 	}
-	totalNsEdge := "-"
+	totalNsEdge, totalCasLink := "-", "-"
 	if r.Edges > 0 {
 		totalNsEdge = fmt.Sprintf("%.2f", float64(r.TotalNS)/float64(r.Edges))
 	}
-	_, err := fmt.Fprintf(w, "%-*s  %12dns  %12d  %9s  %6.1f%%\n",
-		wName, "TOTAL", r.TotalNS, r.Edges, totalNsEdge, 100.0)
+	if links > 0 {
+		totalCasLink = fmt.Sprintf("%.3f", float64(retries)/float64(links))
+	}
+	_, err := fmt.Fprintf(w, "%-*s  %12dns  %12d  %9s  %9s  %6.1f%%\n",
+		breakdownNameWidth, "TOTAL", r.TotalNS, r.Edges, totalNsEdge, totalCasLink, 100.0)
 	return err
 }

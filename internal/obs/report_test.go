@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// goldenReport is a synthetic phase tree with hand-picked numbers: one
+// root, five leaves covering the edge-bearing, link-free, and
+// sample-only phase shapes.
+func goldenReport() *Report {
+	return &Report{
+		TotalNS: 1_000_000,
+		Edges:   5_000,
+		Spans: []Span{
+			{ID: 0, Parent: -1, Name: PhaseRun, DurNS: 1_000_000},
+			{ID: 1, Parent: 0, Name: PhaseNeighborRound, DurNS: 400_000,
+				Stats: PhaseStats{Edges: 4_000, Links: 2_000, CASRetries: 150}},
+			{ID: 2, Parent: 0, Name: PhaseCompress, DurNS: 100_000},
+			{ID: 3, Parent: 0, Name: PhaseSample, DurNS: 50_000,
+				Stats: PhaseStats{SkipRatio: 0.8}},
+			{ID: 4, Parent: 0, Name: PhaseFinal, DurNS: 300_000,
+				Stats: PhaseStats{Edges: 1_000, Links: 500, CASRetries: 10}},
+			{ID: 5, Parent: 0, Name: PhaseFinalCompress, DurNS: 150_000},
+		},
+	}
+}
+
+// TestWriteBreakdownGolden pins the breakdown table byte-for-byte:
+// fixed column positions independent of which phases ran, and the
+// cas/link contention column alongside the raw stats.
+func TestWriteBreakdownGolden(t *testing.T) {
+	const want = "" +
+		"phase                       wall         edges    ns/edge   cas/link   % wall\n" +
+		"neighbor_round          400000ns          4000     100.00      0.075    40.0%\n" +
+		"compress                100000ns             -          -          -    10.0%\n" +
+		"sample_frequent          50000ns             -          -          -     5.0%\n" +
+		"final_skip_pass         300000ns          1000     300.00      0.020    30.0%\n" +
+		"final_compress          150000ns             -          -          -    15.0%\n" +
+		"TOTAL                  1000000ns          5000     200.00      0.064   100.0%\n"
+	var sb strings.Builder
+	if err := goldenReport().WriteBreakdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != want {
+		t.Errorf("breakdown table drifted from golden output.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRowsCASPerLink checks the derived column's math and JSON fields.
+func TestRowsCASPerLink(t *testing.T) {
+	rows := goldenReport().Rows()
+	if len(rows) != 5 {
+		t.Fatalf("got %d leaf rows, want 5", len(rows))
+	}
+	nr := rows[0]
+	if nr.Name != PhaseNeighborRound || nr.Links != 2_000 || nr.CASRetries != 150 {
+		t.Fatalf("neighbor_round row carried wrong stats: %+v", nr)
+	}
+	if got, want := nr.CASPerLink, 150.0/2000.0; got != want {
+		t.Errorf("CASPerLink = %v, want %v", got, want)
+	}
+	if rows[1].CASPerLink != 0 {
+		t.Errorf("link-free phase must have zero CASPerLink, got %v", rows[1].CASPerLink)
+	}
+}

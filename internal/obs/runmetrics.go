@@ -121,6 +121,11 @@ type PoolMetrics struct {
 	// Imbalance is max-over-mean busy time across the workers of the
 	// most recent job: 1.0 is a perfectly balanced pass.
 	Imbalance *Gauge
+	// OnJob, when non-nil, receives every completed job's imbalance
+	// ratio (the value Imbalance was just set to). The anomaly
+	// detector's worker-imbalance rule hooks in here. Set it before
+	// installing the metrics on a pool.
+	OnJob func(imbalance float64)
 }
 
 // NewPoolMetrics binds the pool metric family in r.

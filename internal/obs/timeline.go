@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TimelineRow is one worker's digest of the recorder's retained window:
+// how many events and chunks it ran, how long it was busy, what
+// fraction of the window that busy time covers, and an ASCII occupancy
+// bar ('#' where the worker ran at least one chunk in that time slice,
+// '.' where it sat idle).
+type TimelineRow struct {
+	Worker  int     `json:"worker"`
+	Events  int     `json:"events"`
+	Chunks  int     `json:"chunks"`
+	BusyNS  int64   `json:"busy_ns"`
+	Util    float64 `json:"util"` // BusyNS over the window span, in [0,1]
+	Bar     string  `json:"bar"`
+}
+
+// Timeline digests the per-worker rings into utilization rows. width is
+// the occupancy bar's bucket count (<= 0 means 48). The window is the
+// span from the earliest to the latest retained event across all rings;
+// a recorder with no worker events returns rows with empty bars.
+func (f *FlightRecorder) Timeline(width int) []TimelineRow {
+	if width <= 0 {
+		width = 48
+	}
+	type workerEvents struct {
+		evs []FlightEvent
+	}
+	all := make([]workerEvents, f.workers)
+	minTS, maxTS := int64(1<<62), int64(-1)
+	span := func(ev FlightEvent) (lo, hi int64) {
+		return ev.TS, ev.TS + ev.Dur
+	}
+	for w := 0; w < f.workers; w++ {
+		evs, _ := f.rings[w].events()
+		all[w].evs = evs
+		for _, ev := range evs {
+			lo, hi := span(ev)
+			if lo < minTS {
+				minTS = lo
+			}
+			if hi > maxTS {
+				maxTS = hi
+			}
+		}
+	}
+	window := maxTS - minTS
+	rows := make([]TimelineRow, f.workers)
+	for w := range rows {
+		row := TimelineRow{Worker: w, Events: len(all[w].evs)}
+		busyBuckets := make([]bool, width)
+		for _, ev := range all[w].evs {
+			if ev.Kind != EvChunkClaim {
+				continue
+			}
+			row.Chunks++
+			row.BusyNS += ev.Dur
+			if window <= 0 {
+				continue
+			}
+			lo, hi := span(ev)
+			b0 := int((lo - minTS) * int64(width) / (window + 1))
+			b1 := int((hi - minTS) * int64(width) / (window + 1))
+			for b := b0; b <= b1 && b < width; b++ {
+				busyBuckets[b] = true
+			}
+		}
+		if window > 0 {
+			row.Util = float64(row.BusyNS) / float64(window)
+			if row.Util > 1 {
+				row.Util = 1 // overlapping chunk claims folded into one ring
+			}
+			var bar strings.Builder
+			for _, busy := range busyBuckets {
+				if busy {
+					bar.WriteByte('#')
+				} else {
+					bar.WriteByte('.')
+				}
+			}
+			row.Bar = bar.String()
+		}
+		rows[w] = row
+	}
+	return rows
+}
+
+// WriteTimeline renders the per-worker utilization table. width is the
+// occupancy bar's bucket count (<= 0 means 48).
+func (f *FlightRecorder) WriteTimeline(w io.Writer, width int) error {
+	rows := f.Timeline(width)
+	if _, err := fmt.Fprintf(w, "%-7s  %7s  %7s  %12s  %6s  timeline\n",
+		"worker", "events", "chunks", "busy", "util"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintf(w, "%-7d  %7d  %7d  %10dns  %5.1f%%  %s\n",
+			row.Worker, row.Events, row.Chunks, row.BusyNS, row.Util*100, row.Bar); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// The perf-trajectory gate turns BENCH_afforest.json from a snapshot
+// into a trend line: each (algorithm, graph) cell of a new run is
+// compared against the median of that cell across the comparable
+// baseline history, with a tolerance wide enough for run-to-run noise
+// but tight enough to catch a real regression. The math lives here so
+// both ccbench and tests share one definition; internal/bench owns the
+// history file format and feeds samples in.
+
+// TrendCell is one measured (algorithm, graph) cell of a run.
+type TrendCell struct {
+	Algorithm string
+	Graph     string
+	NSPerEdge float64
+}
+
+// Key is the history-lookup key, "algorithm/graph".
+func (c TrendCell) Key() string { return c.Algorithm + "/" + c.Graph }
+
+// GateConfig tunes the regression test. Zero-value fields default.
+type GateConfig struct {
+	// RelTolerance is the floor on the allowed fractional slowdown per
+	// cell. Default 0.35 — wide because single-machine ns/edge medians
+	// routinely wander ±20% between runs on shared hardware; the gate
+	// is for 2x-shaped regressions, not 5% drifts.
+	RelTolerance float64
+	// MADFactor scales the history's own dispersion into the
+	// tolerance: allowed = max(RelTolerance, MADFactor*MAD/median), so
+	// a cell whose baseline is noisy gets proportionally more slack.
+	// Default 4.
+	MADFactor float64
+}
+
+func (c GateConfig) withDefaults() GateConfig {
+	if c.RelTolerance == 0 {
+		c.RelTolerance = 0.35
+	}
+	if c.MADFactor == 0 {
+		c.MADFactor = 4
+	}
+	return c
+}
+
+// Gate statuses.
+const (
+	GateOK        = "ok"        // within tolerance of the baseline median
+	GateRegressed = "regressed" // slower than median by more than tolerance
+	GateImproved  = "improved"  // faster than median by more than tolerance
+	GateNew       = "new"       // no comparable baseline samples for this cell
+)
+
+// GateResult is one cell's verdict.
+type GateResult struct {
+	Algorithm string  `json:"algorithm"`
+	Graph     string  `json:"graph"`
+	Baseline  float64 `json:"baseline_ns_per_edge"` // history median (0 when new)
+	New       float64 `json:"new_ns_per_edge"`
+	Delta     float64 `json:"delta"`     // New/Baseline - 1 (0 when new)
+	Tolerance float64 `json:"tolerance"` // allowed fractional slowdown
+	Samples   int     `json:"samples"`   // baseline samples behind the median
+	Status    string  `json:"status"`
+}
+
+// GateReport is the verdict over every cell of a run.
+type GateReport struct {
+	Results      []GateResult `json:"results"`
+	BaselineRuns int          `json:"baseline_runs"` // comparable history entries
+	Note         string       `json:"note,omitempty"`
+}
+
+// OK reports whether no cell regressed. A run with nothing comparable
+// (all cells new) passes — the gate's job is catching change against
+// history, not inventing history.
+func (r *GateReport) OK() bool {
+	for _, c := range r.Results {
+		if c.Status == GateRegressed {
+			return false
+		}
+	}
+	return true
+}
+
+// Regressed returns the regressed cells.
+func (r *GateReport) Regressed() []GateResult {
+	var out []GateResult
+	for _, c := range r.Results {
+		if c.Status == GateRegressed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// GateCells judges each current cell against its baseline samples
+// (keyed by TrendCell.Key). Cells are judged independently; ordering of
+// results follows current.
+func GateCells(current []TrendCell, baseline map[string][]float64, cfg GateConfig) *GateReport {
+	cfg = cfg.withDefaults()
+	rep := &GateReport{}
+	for _, c := range current {
+		res := GateResult{Algorithm: c.Algorithm, Graph: c.Graph, New: c.NSPerEdge}
+		samples := baseline[c.Key()]
+		if len(samples) == 0 || c.NSPerEdge <= 0 {
+			res.Status = GateNew
+			rep.Results = append(rep.Results, res)
+			continue
+		}
+		med := Median(samples)
+		res.Baseline = med
+		res.Samples = len(samples)
+		res.Tolerance = cfg.RelTolerance
+		if med <= 0 {
+			res.Status = GateNew
+			rep.Results = append(rep.Results, res)
+			continue
+		}
+		if rel := cfg.MADFactor * MAD(samples) / med; rel > res.Tolerance {
+			res.Tolerance = rel
+		}
+		res.Delta = c.NSPerEdge/med - 1
+		switch {
+		case res.Delta > res.Tolerance:
+			res.Status = GateRegressed
+		case res.Delta < -res.Tolerance:
+			res.Status = GateImproved
+		default:
+			res.Status = GateOK
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+// WriteTable renders the per-cell delta table.
+func (r *GateReport) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-12s %-8s %12s %12s %8s %6s %4s  %s\n",
+		"algorithm", "graph", "baseline", "new", "delta", "tol", "n", "status"); err != nil {
+		return err
+	}
+	for _, c := range r.Results {
+		if c.Status == GateNew {
+			if _, err := fmt.Fprintf(w, "%-12s %-8s %12s %12.3f %8s %6s %4d  %s\n",
+				c.Algorithm, c.Graph, "-", c.New, "-", "-", c.Samples, c.Status); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-12s %-8s %12.3f %12.3f %+7.1f%% %5.0f%% %4d  %s\n",
+			c.Algorithm, c.Graph, c.Baseline, c.New, c.Delta*100, c.Tolerance*100, c.Samples, c.Status); err != nil {
+			return err
+		}
+	}
+	if r.Note != "" {
+		if _, err := fmt.Fprintf(w, "note: %s\n", r.Note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Median returns the median of xs (0 when empty). xs is not modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation of xs from their median
+// (0 when fewer than two samples — a single baseline has no measurable
+// dispersion, so the RelTolerance floor governs).
+func MAD(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}

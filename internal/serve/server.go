@@ -60,6 +60,15 @@ type Config struct {
 	// nil means a fresh private registry; share one to aggregate
 	// several servers into a single exposition.
 	Registry *obs.Registry
+	// Anomaly watches the bootstrap run, every edge batch, pool
+	// imbalance, and write latency for the streaming anomaly rules.
+	// nil means a default detector bound to Registry; pass one to tune
+	// thresholds or share a detector across servers.
+	Anomaly *obs.AnomalyDetector
+	// Flight, when set, is installed on the worker pool and the batch
+	// observer chain, and every anomaly firing snapshots it. nil means
+	// no flight recording.
+	Flight *obs.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -75,7 +84,20 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.Anomaly == nil {
+		c.Anomaly = obs.NewAnomalyDetector(c.Registry, obs.AnomalyConfig{})
+	}
 	return c
+}
+
+// flightObserver returns the flight recorder as an Observer, or a nil
+// interface when none is configured (a typed nil pointer must not reach
+// obs.Multi).
+func (c Config) flightObserver() obs.Observer {
+	if c.Flight == nil {
+		return nil
+	}
+	return c.Flight
 }
 
 // Server hosts one graph's connectivity. It implements http.Handler.
@@ -168,14 +190,24 @@ func New(inc *core.Incremental, bootEdges int64, cfg Config) *Server {
 	s.writeLat.Attach(reg.Histogram("afforest_write_latency_ns",
 		"Write handler latency (POST /edges, includes batch wait).", obs.DefaultLatencyBuckets))
 	s.edges.Store(bootEdges)
+	// Anomaly feeds: write latency (spike rule) and per-job pool
+	// imbalance; flight snapshots on every firing when a recorder is
+	// configured.
+	s.writeLat.Tap(cfg.Anomaly.ObserveLatency)
+	if cfg.Flight != nil {
+		cfg.Anomaly.AttachFlight(cfg.Flight)
+		concurrent.DefaultPool().SetFlight(cfg.Flight)
+	}
 	// The worker pool that executes batch flushes and snapshot builds is
 	// process-wide; report its utilization here. Deliberately global:
 	// with several servers the last one wins, matching the pool itself.
-	concurrent.DefaultPool().SetMetrics(obs.NewPoolMetrics(reg))
+	pm := obs.NewPoolMetrics(reg)
+	pm.OnJob = cfg.Anomaly.ObserveImbalance
+	concurrent.DefaultPool().SetMetrics(pm)
 	// The batcher bumps s.edges inside flush, before replying, so the
 	// post-drain snapshot's edge count is exact.
 	s.batcher = newEdgeBatcher(inc, cfg.BatchWindow, cfg.MaxBatch, cfg.Parallelism, &s.edges,
-		obs.NewRunMetrics(reg),
+		obs.Multi(obs.NewRunMetrics(reg), cfg.Anomaly, cfg.flightObserver()),
 		reg.Histogram("afforest_edge_apply_ns",
 			"Wall time of one coalesced edge-batch parallel apply.", obs.DefaultLatencyBuckets))
 	s.mux.HandleFunc("GET /connected", s.handleConnected)
@@ -196,6 +228,12 @@ func New(inc *core.Incremental, bootEdges int64, cfg Config) *Server {
 
 // Registry returns the registry backing this server's /metrics.
 func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
+
+// Anomaly returns the server's anomaly detector (never nil after New).
+func (s *Server) Anomaly() *obs.AnomalyDetector { return s.cfg.Anomaly }
+
+// Flight returns the configured flight recorder, or nil.
+func (s *Server) Flight() *obs.FlightRecorder { return s.cfg.Flight }
 
 // LastRun returns the bootstrap run's phase-tree report, or nil when
 // the server was built without a batch run (New/Restore).
@@ -218,9 +256,16 @@ func Bootstrap(g *graph.CSR, cfg Config) (*Server, error) {
 	// Observe the bootstrap run itself: its phase tree becomes the
 	// /stats "last_run" section and its counters land in the registry.
 	// Installed before Run so the pool work it schedules is counted.
-	concurrent.DefaultPool().SetMetrics(obs.NewPoolMetrics(cfg.Registry))
+	pm := obs.NewPoolMetrics(cfg.Registry)
+	pm.OnJob = cfg.Anomaly.ObserveImbalance
+	concurrent.DefaultPool().SetMetrics(pm)
+	if cfg.Flight != nil {
+		cfg.Anomaly.AttachFlight(cfg.Flight)
+		concurrent.DefaultPool().SetFlight(cfg.Flight)
+	}
 	tracer := obs.NewTracer()
-	opt.Observer = obs.Multi(opt.Observer, tracer, obs.NewRunMetrics(cfg.Registry))
+	opt.Observer = obs.Multi(opt.Observer, tracer,
+		obs.NewRunMetrics(cfg.Registry), cfg.Anomaly, cfg.flightObserver())
 	p := core.Run(g, opt)
 	inc, err := core.RestoreIncremental(p.Labels())
 	if err != nil {
@@ -530,6 +575,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"age_ms":     time.Since(snap.TakenAt).Milliseconds(),
 			"components": snap.NumComponents(),
 			"taken":      s.counts.snapshots.Value(),
+		},
+		"anomalies": map[string]any{
+			"count":  s.cfg.Anomaly.Count(),
+			"recent": s.cfg.Anomaly.Recent(),
 		},
 	}
 	if rep := s.lastRun.Load(); rep != nil {

@@ -22,6 +22,7 @@ type LatencyRecorder struct {
 	count int64     // lifetime observations
 	sum   float64   // lifetime nanoseconds
 	hist  *obs.Histogram
+	tap   func(ns float64)
 }
 
 // DefaultLatencyWindow is the ring capacity NewLatencyRecorder uses
@@ -49,6 +50,16 @@ func (r *LatencyRecorder) Attach(h *obs.Histogram) {
 	r.mu.Unlock()
 }
 
+// Tap installs a callback receiving every subsequent observation in
+// nanoseconds, invoked outside the recorder's lock like the attached
+// histogram (the anomaly detector's latency-spike rule hooks in here).
+// Pass nil to detach. The callback must be safe for concurrent use.
+func (r *LatencyRecorder) Tap(f func(ns float64)) {
+	r.mu.Lock()
+	r.tap = f
+	r.mu.Unlock()
+}
+
 // Observe records one latency sample. Safe for concurrent use.
 func (r *LatencyRecorder) Observe(d time.Duration) {
 	ns := float64(d)
@@ -64,10 +75,13 @@ func (r *LatencyRecorder) Observe(d time.Duration) {
 	}
 	r.count++
 	r.sum += ns
-	h := r.hist
+	h, tap := r.hist, r.tap
 	r.mu.Unlock()
 	if h != nil {
 		h.Observe(ns)
+	}
+	if tap != nil {
+		tap(ns)
 	}
 }
 

@@ -6,8 +6,10 @@ import (
 	"sync"
 
 	"afforest/internal/baselines"
+	"afforest/internal/concurrent"
 	"afforest/internal/core"
 	"afforest/internal/graph"
+	"afforest/internal/obs"
 )
 
 // Algo is one registered connected-components implementation the
@@ -93,6 +95,65 @@ func baselineAlgo(name string, run func(g *graph.CSR, parallelism int) []graph.V
 		},
 	}
 }
+
+// StalledAfforest is a deliberately broken Afforest whose neighbor
+// rounds never advance: every round re-links each vertex's FIRST
+// neighbor instead of the r-th, so the per-round link count never
+// decays and convergence stalls by construction. It emits the real
+// phase spans (neighbor_round with link stats, compress, final
+// compress) through ob, which is exactly the event stream the anomaly
+// detector's convergence-stall rule watches. It is NOT registered in
+// the differential matrix — its labels are wrong on purpose (only
+// first-neighbor edges are ever linked); tests construct it directly.
+func StalledAfforest(g *graph.CSR, workers, rounds int, ob obs.Observer) []graph.V {
+	n := g.NumVertices()
+	p := core.NewParent(n)
+	if n == 0 {
+		return p.Labels()
+	}
+	if ob == nil {
+		ob = nopObserver{}
+	}
+	offsets, targets := g.Adjacency(0, n)
+	w := concurrent.Procs(workers)
+	root := ob.BeginPhase(obs.PhaseRun)
+	for r := 0; r < rounds; r++ {
+		span := ob.BeginPhase(obs.PhaseNeighborRound)
+		per := make([]core.LinkStats, w)
+		concurrent.ForRange(n, workers, 512, func(lo, hi, worker int) {
+			st := &per[worker]
+			for u := lo; u < hi; u++ {
+				if offsets[u] < offsets[u+1] {
+					core.LinkCounted(p, graph.V(u), targets[offsets[u]], st)
+				}
+			}
+		})
+		var total core.LinkStats
+		for i := range per {
+			total.Calls += per[i].Calls
+			total.Iterations += per[i].Iterations
+			total.CASFails += per[i].CASFails
+			total.Merges += per[i].Merges
+			if per[i].MaxIters > total.MaxIters {
+				total.MaxIters = per[i].MaxIters
+			}
+		}
+		ob.EndPhase(span, total.PhaseStats())
+		span = ob.BeginPhase(obs.PhaseCompress)
+		core.CompressAll(p, workers)
+		ob.EndPhase(span, obs.PhaseStats{})
+	}
+	span := ob.BeginPhase(obs.PhaseFinalCompress)
+	core.CompressAll(p, workers)
+	ob.EndPhase(span, obs.PhaseStats{})
+	ob.EndPhase(root, obs.PhaseStats{})
+	return p.Labels()
+}
+
+type nopObserver struct{}
+
+func (nopObserver) BeginPhase(string) obs.SpanID        { return 0 }
+func (nopObserver) EndPhase(obs.SpanID, obs.PhaseStats) {}
 
 func init() {
 	RegisterAlgo(afforestAlgo("afforest", nil))
