@@ -44,24 +44,33 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
 # perfgate measures the trajectory grid under the committed history's
-# configuration (scale 18, 9 runs, seed 42, single-threaded) and fails
-# on any cell regressing beyond the noise tolerance. Exercise the
-# failure path with:
+# configurations — a GOMAXPROCS={1,8} matrix at scale 18, seed 42 — and
+# fails on any cell regressing beyond the noise tolerance. Baseline
+# entries for both matrix cells live in BENCH_afforest.json (history
+# entries only gate against same-GOMAXPROCS runs). Exercise the failure
+# path with:
 #   go run ./cmd/ccbench -gate -scale 18 -runs 9 -p 1 -inject-slowdown afforest/kron=2
 perfgate:
-	$(GO) run ./cmd/ccbench -gate -scale 18 -runs 9 -seed 42 -p 1
+	@for p in 1 8; do \
+		echo "== perfgate: GOMAXPROCS=$$p =="; \
+		GOMAXPROCS=$$p $(GO) run ./cmd/ccbench -gate -scale 18 -runs 9 -seed 42 -p $$p \
+			|| exit 1; \
+	done
 
 # perfgate-smoke is the short-mode gate check inside `make check`: a
 # fresh small-scale measurement appended to a throwaway history must
-# pass a gate run against itself (run-vs-self), proving the gate
-# machinery works end-to-end. Scale-14 cells run in well under a
-# millisecond, so back-to-back noise on a shared VM routinely exceeds
-# the production 35% tolerance — the smoke widens it to 75%, which
-# still fails loudly on a 2x injected slowdown.
+# pass a gate run against itself (run-vs-self) in both matrix cells,
+# proving the gate machinery works end-to-end. Scale-14 cells run in
+# well under a millisecond, so back-to-back noise on a shared VM
+# routinely exceeds the production 35% tolerance — the smoke widens it
+# to 75%, which still fails loudly on a 2x injected slowdown.
 perfgate-smoke:
-	@tmp=$$(mktemp) && rm -f $$tmp && \
-	$(GO) run ./cmd/ccbench -exp bench -benchout $$tmp -scale 14 -runs 3 -p 1 >/dev/null && \
-	$(GO) run ./cmd/ccbench -gate -baseline $$tmp -scale 14 -runs 3 -p 1 -tolerance 0.75 && \
-	rm -f $$tmp
+	@for p in 1 8; do \
+		echo "== perfgate-smoke: GOMAXPROCS=$$p =="; \
+		tmp=$$(mktemp) && rm -f $$tmp && \
+		GOMAXPROCS=$$p $(GO) run ./cmd/ccbench -exp bench -benchout $$tmp -scale 14 -runs 3 -p $$p >/dev/null && \
+		GOMAXPROCS=$$p $(GO) run ./cmd/ccbench -gate -baseline $$tmp -scale 14 -runs 3 -p $$p -tolerance 0.75 && \
+		rm -f $$tmp || exit 1; \
+	done
 
 .PHONY: all build vet test check race-matrix fuzz-smoke bench perfgate perfgate-smoke

@@ -173,33 +173,39 @@ func maxI64(a, b int64) int64 {
 	return b
 }
 
-// AblationCompress compares the two tree-compaction strategies between
-// link phases: the paper's full compress (walk to root, depth-1 result;
-// Fig 2b) versus single path-halving rounds. Full compression makes
-// each interleaved pass costlier but keeps subsequent links at depth
-// one; halving is cheaper per pass but lets link climbs lengthen.
+// AblationCompress compares the three tree-compaction strategies
+// between link phases: the paper's full compress (walk to root, depth-1
+// result; Fig 2b), single path-halving rounds, and the FastSV-style
+// great-grandparent shortcut. Full compression makes each interleaved
+// pass costlier but keeps subsequent links at depth one; halving is
+// cheaper per pass but lets link climbs lengthen; shortcutting removes
+// two levels per pass for one extra usually-cached load.
 func AblationCompress(cfg Config) *stats.Table {
 	cfg = cfg.withDefaults()
 	t := stats.NewTable(
 		fmt.Sprintf("Ablation: compress variant (scale=%d, median of %d)", cfg.Scale, cfg.Runs),
-		"graph", "full_compress_ms", "path_halving_ms")
+		"graph", "full_compress_ms", "path_halving_ms", "shortcut_ms")
 	for _, name := range []string{"road", "web", "kron", "urand"} {
 		sg, err := gen.ByName(name)
 		if err != nil {
 			panic(err)
 		}
 		g := sg.Build(cfg.Scale, cfg.Seed)
-		times := make(map[bool]float64)
-		for _, halving := range []bool{false, true} {
+		times := make(map[string]float64)
+		for _, variant := range []string{"full", "halving", "shortcut"} {
 			opt := core.DefaultOptions()
 			opt.Parallelism = cfg.Parallelism
-			opt.HalvingCompress = halving
+			opt.HalvingCompress = variant == "halving"
+			opt.ShortcutCompress = variant == "shortcut"
 			var labels core.Parent
 			tm := stats.MeasureFunc(cfg.Runs, func() { labels = core.Run(g, opt) })
-			checkLabeling(cfg, g, fmt.Sprintf("compress-halving=%v", halving), labels.Labels())
-			times[halving] = tm.Median.Seconds() * 1000
+			checkLabeling(cfg, g, "compress-"+variant, labels.Labels())
+			times[variant] = tm.Median.Seconds() * 1000
 		}
-		t.AddRow(name, fmt.Sprintf("%.2f", times[false]), fmt.Sprintf("%.2f", times[true]))
+		t.AddRow(name,
+			fmt.Sprintf("%.2f", times["full"]),
+			fmt.Sprintf("%.2f", times["halving"]),
+			fmt.Sprintf("%.2f", times["shortcut"]))
 	}
 	return t
 }

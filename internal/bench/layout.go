@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"afforest/internal/core"
+	"afforest/internal/gen"
+	"afforest/internal/stats"
+)
+
+// layoutVariant is one point of the memory-layout ablation: a named
+// Options mutation over the default Afforest configuration.
+type layoutVariant struct {
+	name string
+	mod  func(*core.Options)
+}
+
+// layoutVariants is the hot-path campaign's ablation grid. The names
+// are namespaced under "afforest+" so the layout cells gate only
+// against earlier layout cells, never against the main trajectory's
+// plain "afforest" baseline (different measurement context).
+func layoutVariants() []layoutVariant {
+	return []layoutVariant{
+		{"afforest+default", nil},
+		{"afforest+gather", func(o *core.Options) { o.GatherLinks = true }},
+		{"afforest+shortcut", func(o *core.Options) { o.ShortcutCompress = true }},
+		{"afforest+relabel", func(o *core.Options) { o.RelabelFinal = true }},
+		{"afforest+blocked", func(o *core.Options) { o.BlockedFinal = true }},
+	}
+}
+
+// LayoutTrajectory measures every layout variant on the urand/kron
+// pair and returns the cells as a TrajectoryReport, so `ccbench -exp
+// layout` can append them to the same BENCH history the perf gate
+// reads. Variants are interleaved per repetition (variant-major inner
+// loop) so host drift during the run biases every variant equally —
+// the per-cell medians stay comparable to each other even when the
+// absolute numbers wander between runs.
+func LayoutTrajectory(cfg Config) *TrajectoryReport {
+	cfg = cfg.withDefaults()
+	rep := &TrajectoryReport{
+		Date:        time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		Commit:      gitCommit(),
+		GoVersion:   runtime.Version(),
+		Scale:       cfg.Scale,
+		Runs:        cfg.Runs,
+		Seed:        cfg.Seed,
+		Parallelism: cfg.Parallelism,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	variants := layoutVariants()
+	for _, name := range []string{"urand", "kron"} {
+		sg, err := gen.ByName(name)
+		if err != nil {
+			panic(err) // grid names are compile-time constants
+		}
+		g := sg.Build(cfg.Scale, cfg.Seed)
+		edges := g.NumEdges()
+		mins := make([]time.Duration, len(variants))
+		for i := range mins {
+			mins[i] = 1 << 62
+		}
+		for run := 0; run < cfg.Runs; run++ {
+			for i, v := range variants {
+				opt := core.DefaultOptions()
+				opt.Parallelism = cfg.Parallelism
+				opt.Seed = cfg.Seed
+				if v.mod != nil {
+					v.mod(&opt)
+				}
+				start := time.Now()
+				labels := core.Run(g, opt)
+				if d := time.Since(start); d < mins[i] {
+					mins[i] = d
+				}
+				if run == 0 {
+					checkLabeling(cfg, g, v.name+"/"+name, labels.Labels())
+				}
+			}
+		}
+		for i, v := range variants {
+			rep.Entries = append(rep.Entries, TrajectoryEntry{
+				Algorithm: v.name,
+				Graph:     name,
+				Vertices:  g.NumVertices(),
+				Edges:     edges,
+				MedianMS:  mins[i].Seconds() * 1000, // min-of-N, the drift-robust statistic
+				NSPerEdge: float64(mins[i].Nanoseconds()) / float64(edges),
+			})
+		}
+	}
+	return rep
+}
+
+// AblationLayout renders the layout trajectory as a variant × graph
+// table with per-variant deltas against the default configuration.
+func AblationLayout(cfg Config) *stats.Table {
+	cfg = cfg.withDefaults()
+	rep := LayoutTrajectory(cfg)
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: memory-layout variants, min of %d (scale=%d)", cfg.Runs, cfg.Scale),
+		"variant", "graph", "ns_per_edge", "vs_default")
+	base := map[string]float64{}
+	for _, e := range rep.Entries {
+		if e.Algorithm == "afforest+default" {
+			base[e.Graph] = e.NSPerEdge
+		}
+	}
+	for _, e := range rep.Entries {
+		delta := "—"
+		if b := base[e.Graph]; b > 0 && e.Algorithm != "afforest+default" {
+			delta = fmt.Sprintf("%+.1f%%", 100*(e.NSPerEdge-b)/b)
+		}
+		t.AddRow(e.Algorithm, e.Graph, fmt.Sprintf("%.3f", e.NSPerEdge), delta)
+	}
+	return t
+}

@@ -20,6 +20,8 @@ type LinkStats struct {
 	MaxIters   int64
 	CASFails   int64
 	Merges     int64 // successful hook CASes: edges that united two trees
+	Checked    int64 // final pass: skip-filter decisions taken
+	Skipped    int64 // final pass: decisions that dropped the source
 }
 
 // MeanIterations returns average Link loop iterations per call.
@@ -36,6 +38,8 @@ func (s *LinkStats) merge(o *LinkStats) {
 	s.Iterations += o.Iterations
 	s.CASFails += o.CASFails
 	s.Merges += o.Merges
+	s.Checked += o.Checked
+	s.Skipped += o.Skipped
 	if o.MaxIters > s.MaxIters {
 		s.MaxIters = o.MaxIters
 	}
@@ -53,6 +57,8 @@ func (s *LinkStats) PhaseStats() obs.PhaseStats {
 		MaxIters:   s.MaxIters,
 		CASRetries: s.CASFails,
 		Merges:     s.Merges,
+		Checked:    s.Checked,
+		Skipped:    s.Skipped,
 	}
 }
 
@@ -172,24 +178,26 @@ func runObservedOn(g *graph.CSR, opt Options, p Parent, ob obs.Observer, afterLi
 		span := ob.BeginPhase(obs.PhaseNeighborRound)
 		per := make([]LinkStats, workers)
 		rr := int64(r)
-		concurrent.ForRange(n, opt.Parallelism, 512, func(lo, hi, w int) {
-			st := &per[w]
-			for u := lo; u < hi; u++ {
-				if k := offsets[u] + rr; k < offsets[u+1] {
-					LinkCounted(p, graph.V(u), targets[k], st)
+		if opt.GatherLinks {
+			concurrent.ForRange(n, opt.Parallelism, 512, func(lo, hi, w int) {
+				linkRoundGatheredCounted(p, offsets, targets, rr, lo, hi, &per[w])
+			})
+		} else {
+			concurrent.ForRange(n, opt.Parallelism, 512, func(lo, hi, w int) {
+				st := &per[w]
+				for u := lo; u < hi; u++ {
+					if k := offsets[u] + rr; k < offsets[u+1] {
+						LinkCounted(p, graph.V(u), targets[k], st)
+					}
 				}
-			}
-		})
+			})
+		}
 		ob.EndPhase(span, mergeWorkers(per))
 		if afterLink != nil {
 			afterLink()
 		}
 		span = ob.BeginPhase(obs.PhaseCompress)
-		if opt.HalvingCompress {
-			CompressHalveAll(p, opt.Parallelism)
-		} else {
-			CompressAll(p, opt.Parallelism)
-		}
+		compressVariant(p, opt)
 		ob.EndPhase(span, obs.PhaseStats{})
 	}
 
@@ -202,31 +210,78 @@ func runObservedOn(g *graph.CSR, opt Options, p Parent, ob obs.Observer, afterLi
 		ob.EndPhase(span, obs.PhaseStats{SkipRatio: ratio})
 	}
 
+	// Relabeled form of phases 3–4. p stays the (valid, stale) pre-final
+	// forest through the relabel and final spans — the pass runs on the
+	// packed π — and receives the exact labels inside the final_compress
+	// span, so every boundary an auditor observes satisfies the forest
+	// invariants and the closing boundary delivers the labeling.
+	if skip && opt.RelabelFinal {
+		span := ob.BeginPhase(obs.PhaseRelabel)
+		rv := buildRelabeledView(g, opt, p, c)
+		ob.EndPhase(span, obs.PhaseStats{})
+
+		span = ob.BeginPhase(obs.PhaseFinal)
+		per := make([]LinkStats, workers)
+		rv.linkCompactCounted(opt, per)
+		st := mergeWorkers(per)
+		// The compact pass has no per-vertex filter; the packing itself
+		// was the decision. Report it as such: every vertex was checked
+		// once (against the snapshot), the giant group was skipped.
+		st.Checked = int64(n)
+		st.Skipped = int64(n - rv.nActive)
+		ob.EndPhase(span, st)
+
+		span = ob.BeginPhase(obs.PhaseFinalCompress)
+		rv.finishInto(p, opt, c)
+		ob.EndPhase(span, obs.PhaseStats{})
+		if afterLink != nil {
+			afterLink()
+		}
+		ob.EndPhase(root, obs.PhaseStats{})
+		return
+	}
+
 	span := ob.BeginPhase(obs.PhaseFinal)
 	per := make([]LinkStats, workers)
 	skipArcs := int64(rounds)
-	concurrent.ForEdgeRange(offsets, opt.Parallelism, opt.EdgeGrain, func(vlo, vhi int, alo, ahi int64, w int) {
-		st := &per[w]
-		for u := vlo; u < vhi; u++ {
-			lo, hi := offsets[u]+skipArcs, offsets[u+1]
-			if lo < alo {
-				lo = alo
-			}
-			if hi > ahi {
-				hi = ahi
-			}
-			if lo >= hi {
-				continue
-			}
-			uu := graph.V(u)
-			if skip && p.Get(uu) == c {
-				continue
-			}
-			for _, v := range targets[lo:hi] {
-				LinkCounted(p, uu, v, st)
+	var finalBody func(vlo, vhi int, alo, ahi int64, w int)
+	if opt.GatherLinks {
+		finalBody = func(vlo, vhi int, alo, ahi int64, w int) {
+			finalRangeGatheredCounted(p, offsets, targets, skipArcs, c, skip, vlo, vhi, alo, ahi, &per[w])
+		}
+	} else {
+		finalBody = func(vlo, vhi int, alo, ahi int64, w int) {
+			st := &per[w]
+			for u := vlo; u < vhi; u++ {
+				lo, hi := offsets[u]+skipArcs, offsets[u+1]
+				if lo < alo {
+					lo = alo
+				}
+				if hi > ahi {
+					hi = ahi
+				}
+				if lo >= hi {
+					continue
+				}
+				uu := graph.V(u)
+				if skip {
+					st.Checked++
+					if p.Get(uu) == c {
+						st.Skipped++
+						continue
+					}
+				}
+				for _, v := range targets[lo:hi] {
+					LinkCounted(p, uu, v, st)
+				}
 			}
 		}
-	})
+	}
+	if opt.BlockedFinal {
+		concurrent.ForEdgeBlocks(offsets, opt.Parallelism, opt.EdgeGrain, opt.BlockVertices, finalBody)
+	} else {
+		concurrent.ForEdgeRange(offsets, opt.Parallelism, opt.EdgeGrain, finalBody)
+	}
 	ob.EndPhase(span, mergeWorkers(per))
 	if afterLink != nil {
 		afterLink()

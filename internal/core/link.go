@@ -58,11 +58,15 @@ func Compress(p Parent, v graph.V) {
 	}
 }
 
-// CompressAll runs Compress on every vertex in parallel (Fig 5 lines
-// 6–8 and 16–18), leaving every tree at depth one.
+// CompressAll flattens every vertex in parallel (Fig 5 lines 6–8 and
+// 16–18), leaving every tree at depth one. Chunks run the gathered
+// kernel (hotpath.go): π for runs of consecutive vertices is loaded
+// batch-wise, root walks start from the gathered parents, and each
+// vertex is stored at most once — same fixed point as Compress per
+// vertex, fewer loads and stores per pass.
 func CompressAll(p Parent, parallelism int) {
-	parallelFor(len(p), parallelism, func(i int) {
-		Compress(p, graph.V(i))
+	concurrent.ForRange(len(p), parallelism, 512, func(lo, hi, _ int) {
+		compressRangeGathered(p, lo, hi)
 	})
 }
 

@@ -14,6 +14,7 @@ package core
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"afforest/internal/graph"
 )
@@ -27,11 +28,48 @@ type Parent []uint32
 // (Fig 5, line 1). Initialization is sequential stores — the array is
 // not yet shared.
 func NewParent(n int) Parent {
-	p := make(Parent, n)
+	p := newParentUninit(n)
 	for i := range p {
 		p[i] = uint32(i)
 	}
 	return p
+}
+
+// cacheLine is the alignment granularity for π: the coherence unit on
+// every platform this repository targets.
+const cacheLine = 64
+
+// newParentUninit allocates a length-n π whose element 0 sits on a
+// cache-line boundary, leaving initialization to the caller. The Go
+// allocator only guarantees size-class alignment, so a bare
+// make([]uint32, n) can start mid-line; then the blocked final pass's
+// per-block π regions (and the compress pass's 512-vertex chunks) end
+// on line fragments shared with the neighboring worker's first
+// entries — false sharing exactly at the boundaries every worker
+// touches. Aligning the base makes every cacheLine/4-entry region
+// line-exclusive. BenchmarkParentFalseSharing guards the property.
+func newParentUninit(n int) Parent {
+	if n == 0 {
+		return Parent{}
+	}
+	const slack = cacheLine / 4
+	buf := make([]uint32, n+slack-1)
+	off := 0
+	if rem := uintptr(unsafe.Pointer(&buf[0])) % cacheLine; rem != 0 {
+		// []uint32 backing stores are always 4-byte aligned, so the
+		// remainder is a whole number of elements.
+		off = int((cacheLine - rem) / 4)
+	}
+	return Parent(buf[off : off+n : off+n])
+}
+
+// Aligned reports whether π's backing array starts on a cache-line
+// boundary (vacuously true when empty).
+func (p Parent) Aligned() bool {
+	if len(p) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&p[0]))%cacheLine == 0
 }
 
 // Get atomically loads π(v).

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"afforest/internal/concurrent"
+	"afforest/internal/graph"
+)
+
+// Frequency-based relabeling of the final pass (Options.RelabelFinal).
+//
+// After SampleFrequentElement identifies the giant intermediate
+// component c, the skip-aware final pass spends most of its time
+// discovering — one random π read per source — that a vertex is
+// skippable. Relabeling turns that scattered discovery into layout: a
+// packing permutation moves the vertices *not* yet in c ("active") to
+// ids 0..k-1 and everything in c behind them, π is rebuilt in the
+// packed space, and the remaining arcs of active sources are copied
+// into a compact CSR over the packed ids. The final pass then runs over
+// that compact view with no per-vertex filter at all — skipped vertices
+// are skipped by construction — and its π accesses land in the dense
+// front region of the packed array. Dropping the arcs of in-c sources
+// entirely is the snapshot form of Theorem 3's skip: any subset of c's
+// component may be skipped, and membership in c is monotone.
+//
+// The packing is order-preserving within each group (see
+// graph.PackPermutation), which is what lets the exact min-id labels be
+// recovered without a canonicalization pass:
+//
+//   - active vertices keep their relative order, so the root of a packed
+//     active tree is the minimum packed id, whose original id is the
+//     minimum original id of the same set;
+//   - every vertex of the snapshot group G = {v : π(v) = c} satisfies
+//     c = π(v) ≤ v (Invariant 1), so c is the minimum of G and maps to
+//     packed id k, the root of the single packed giant tree;
+//   - every component that touches G merges into one packed component
+//     (they are all subsets of c's final component), so the one packed
+//     root rG = π₂(perm[c]) covers them, with final label
+//     min(c, orig[rG]).
+//
+// The construction requires every π value to be a root at packing time
+// (so active parents are provably active); a full compress pass
+// guarantees that, and buildRelabeledView inserts one when an
+// inter-round halving/shortcut variant left deeper trees.
+type relabeledView struct {
+	perm, orig []graph.V // packing permutation and its inverse
+	nActive    int       // packed ids [0, nActive) are not in c
+	permC      graph.V   // packed id of c == nActive (root of the giant tree)
+	p2         Parent    // π over packed ids
+	off2       []int64   // compact CSR over active packed sources...
+	t2         []graph.V // ...holding their remaining arcs, targets packed
+}
+
+// buildRelabeledView snapshots π against c and builds the packed view.
+// p itself is not modified.
+func buildRelabeledView(g *graph.CSR, opt Options, p Parent, c graph.V) *relabeledView {
+	n := g.NumVertices()
+	offsets, targets := g.Adjacency(0, n)
+	skipArcs := int64(opt.rounds())
+	if opt.HalvingCompress || opt.ShortcutCompress {
+		CompressAll(p, opt.Parallelism)
+	}
+
+	active := make([]bool, n)
+	concurrent.ForRange(n, opt.Parallelism, 4096, func(lo, hi, _ int) {
+		for v := lo; v < hi; v++ {
+			active[v] = p.Get(graph.V(v)) != c
+		}
+	})
+	perm, orig, nActive := graph.PackPermutation(active)
+	rv := &relabeledView{
+		perm: perm, orig: orig, nActive: nActive,
+		permC: graph.V(nActive),
+		p2:    newParentUninit(n),
+	}
+
+	// π₂: packed actives keep their (packed) parents — roots at this
+	// point, hence active, hence order-preserved below their children —
+	// and the whole giant group collapses to one depth-1 tree under
+	// permC. Iterating packed ids keeps the writes sequential; the one
+	// random read per vertex is the old π entry.
+	concurrent.ForRange(n, opt.Parallelism, 4096, func(lo, hi, _ int) {
+		for x := lo; x < hi; x++ {
+			if x < nActive {
+				rv.p2[x] = uint32(perm[p.Get(orig[x])])
+			} else {
+				rv.p2[x] = uint32(rv.permC)
+			}
+		}
+	})
+
+	// Compact CSR of the remaining arcs (beyond the sampled rounds) of
+	// active sources. Giant targets are mapped straight to permC rather
+	// than their own packed id: the two are in the same π₂ tree, and the
+	// substitution keeps the final pass's target reads inside the hot
+	// region instead of touching the cold giant tail.
+	rv.off2 = make([]int64, nActive+1)
+	for x := 0; x < nActive; x++ {
+		v := orig[x]
+		d := offsets[v+1] - (offsets[v] + skipArcs)
+		if d < 0 {
+			d = 0
+		}
+		rv.off2[x+1] = rv.off2[x] + d
+	}
+	rv.t2 = make([]graph.V, rv.off2[nActive])
+	concurrent.ForRange(nActive, opt.Parallelism, 512, func(lo, hi, _ int) {
+		for x := lo; x < hi; x++ {
+			v := rv.orig[x]
+			a, b := offsets[v]+skipArcs, offsets[v+1]
+			if a > b {
+				a = b
+			}
+			out := rv.t2[rv.off2[x]:rv.off2[x+1]]
+			for i, t := range targets[a:b] {
+				if active[t] {
+					out[i] = perm[t]
+				} else {
+					out[i] = rv.permC
+				}
+			}
+		}
+	})
+	return rv
+}
+
+// linkCompact runs the final pass over the compact view: every arc is
+// linked, no filter. Traversal is blocked when the options ask for it,
+// and GatherLinks batches the π₂ loads (usually unnecessary here — the
+// packed accesses are the hot region by construction).
+func (rv *relabeledView) linkCompact(opt Options) {
+	body := func(vlo, vhi int, alo, ahi int64, _ int) {
+		for x := vlo; x < vhi; x++ {
+			lo, hi := rv.off2[x], rv.off2[x+1]
+			if lo < alo {
+				lo = alo
+			}
+			if hi > ahi {
+				hi = ahi
+			}
+			if lo >= hi {
+				continue
+			}
+			if opt.GatherLinks {
+				linkArcsGathered(rv.p2, graph.V(x), rv.t2[lo:hi])
+			} else {
+				for _, t := range rv.t2[lo:hi] {
+					Link(rv.p2, graph.V(x), t)
+				}
+			}
+		}
+	}
+	if opt.BlockedFinal {
+		concurrent.ForEdgeBlocks(rv.off2, opt.Parallelism, opt.EdgeGrain, opt.BlockVertices, body)
+	} else {
+		concurrent.ForEdgeRange(rv.off2, opt.Parallelism, opt.EdgeGrain, body)
+	}
+}
+
+// linkCompactCounted is linkCompact with LinkStats accounting.
+func (rv *relabeledView) linkCompactCounted(opt Options, per []LinkStats) {
+	body := func(vlo, vhi int, alo, ahi int64, w int) {
+		st := &per[w]
+		for x := vlo; x < vhi; x++ {
+			lo, hi := rv.off2[x], rv.off2[x+1]
+			if lo < alo {
+				lo = alo
+			}
+			if hi > ahi {
+				hi = ahi
+			}
+			if lo >= hi {
+				continue
+			}
+			if opt.GatherLinks {
+				linkArcsGatheredCounted(rv.p2, graph.V(x), rv.t2[lo:hi], st)
+			} else {
+				for _, t := range rv.t2[lo:hi] {
+					LinkCounted(rv.p2, graph.V(x), t, st)
+				}
+			}
+		}
+	}
+	if opt.BlockedFinal {
+		concurrent.ForEdgeBlocks(rv.off2, opt.Parallelism, opt.EdgeGrain, opt.BlockVertices, body)
+	} else {
+		concurrent.ForEdgeRange(rv.off2, opt.Parallelism, opt.EdgeGrain, body)
+	}
+}
+
+// finishInto flattens π₂ and writes the exact original-id labels back
+// into p: afterwards p is the same labeling an unrelabeled run
+// produces — each label the minimum original vertex id of its
+// component.
+func (rv *relabeledView) finishInto(p Parent, opt Options, c graph.V) {
+	CompressAll(rv.p2, opt.Parallelism)
+	rG := rv.p2.Get(rv.permC)
+	lG := c
+	if o := rv.orig[rG]; o < lG {
+		lG = o
+	}
+	concurrent.ForRange(len(p), opt.Parallelism, 4096, func(lo, hi, _ int) {
+		for x := lo; x < hi; x++ {
+			r := rv.p2.Get(graph.V(x))
+			lab := lG
+			if r != rG {
+				lab = rv.orig[r]
+			}
+			p.set(rv.orig[x], lab)
+		}
+	})
+}
+
+// runRelabeledFinal replaces phases 3–4 of Run (final pass + final
+// compress) with the relabeled equivalents.
+func runRelabeledFinal(g *graph.CSR, opt Options, p Parent, c graph.V) {
+	rv := buildRelabeledView(g, opt, p, c)
+	rv.linkCompact(opt)
+	rv.finishInto(p, opt, c)
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"afforest/internal/gen"
+	"afforest/internal/obs"
+)
+
+// TestRelabeledPhaseTree pins the observed phase structure of a
+// RelabelFinal run: the final pass is preceded by an explicit relabel
+// span, and the final span carries the by-construction skip accounting
+// (Checked = n, Skipped = n - active).
+func TestRelabeledPhaseTree(t *testing.T) {
+	g := gen.Kronecker(11, 8, gen.Graph500, 19)
+	tr := obs.NewTracer()
+	opt := DefaultOptions()
+	opt.RelabelFinal = true
+	opt.Observer = tr
+	Run(g, opt)
+
+	var names []string
+	var final *obs.PhaseStats
+	for _, s := range tr.Spans() {
+		names = append(names, s.Name)
+		if s.Name == obs.PhaseFinal {
+			st := s.Stats
+			final = &st
+		}
+	}
+	want := []string{
+		obs.PhaseRun,
+		obs.PhaseNeighborRound, obs.PhaseCompress,
+		obs.PhaseNeighborRound, obs.PhaseCompress,
+		obs.PhaseSample, obs.PhaseRelabel, obs.PhaseFinal, obs.PhaseFinalCompress,
+	}
+	if len(names) != len(want) {
+		t.Fatalf("got spans %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("span %d = %q, want %q (full: %v)", i, names[i], want[i], names)
+		}
+	}
+	if final == nil {
+		t.Fatal("no final span recorded")
+	}
+	if final.Checked != int64(g.NumVertices()) {
+		t.Errorf("final Checked = %d, want n = %d", final.Checked, g.NumVertices())
+	}
+	if r := final.ObservedSkipRatio(); r <= 0.5 || r > 1 {
+		t.Errorf("observed skip ratio = %.3f — a kron giant component should skip most vertices", r)
+	}
+}
+
+// TestRelabeledRunNoSkipRatioFalseFire feeds a RelabelFinal run's phase
+// stream straight into the anomaly detector: on a giant-component graph
+// the sampled skip ratio is healthy and the relabeled pass must not
+// trip RuleSkipRatioCollapse (or any other rule) merely because the
+// final pass no longer runs a per-vertex filter.
+func TestRelabeledRunNoSkipRatioFalseFire(t *testing.T) {
+	g := gen.URandDegree(20_000, 16, 61)
+	d := obs.NewAnomalyDetector(nil, obs.AnomalyConfig{})
+	opt := DefaultOptions()
+	opt.RelabelFinal = true
+	opt.Observer = d
+	Run(g, opt)
+	if n := d.Count(); n != 0 {
+		t.Fatalf("relabeled run fired %d anomalies: %+v", n, d.Recent())
+	}
+}
+
+// TestRelabeledObservedMatchesRun pins that the observed relabeled
+// dispatch produces the identical labels to the unobserved one.
+func TestRelabeledObservedMatchesRun(t *testing.T) {
+	g := gen.URandComponents(5000, 8, 0.3, 67)
+	opt := DefaultOptions()
+	opt.RelabelFinal = true
+	plain := Run(g, opt)
+	opt.Observer = obs.NewTracer()
+	observed := Run(g, opt)
+	for v := range plain {
+		if plain[v] != observed[v] {
+			t.Fatalf("label mismatch at %d: %d vs %d", v, plain[v], observed[v])
+		}
+	}
+}

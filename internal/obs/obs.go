@@ -31,6 +31,21 @@ type PhaseStats struct {
 	CASRetries int64   `json:"cas_retries,omitempty"` // failed hook CAS attempts
 	Merges     int64   `json:"merges,omitempty"`      // component merges (batch apply)
 	SkipRatio  float64 `json:"skip_ratio,omitempty"`  // sample phase: estimated mode frequency in [0,1]
+	Checked    int64   `json:"checked,omitempty"`     // final pass: vertices tested by the component filter
+	Skipped    int64   `json:"skipped,omitempty"`     // final pass: vertices the filter skipped entirely
+}
+
+// ObservedSkipRatio is the realized (not sampled) skip fraction of a
+// final pass: Skipped over Checked, or 0 when the phase checked nothing.
+// The sample phase's SkipRatio is the a-priori estimate; this is what
+// the pass actually saw, which the relabeled final pass reports even
+// though it never runs a per-vertex filter (the compacted view skips by
+// construction).
+func (s PhaseStats) ObservedSkipRatio() float64 {
+	if s.Checked == 0 {
+		return 0
+	}
+	return float64(s.Skipped) / float64(s.Checked)
 }
 
 // Merge folds b into s (sums, except MaxIters which takes the max and
@@ -41,6 +56,8 @@ func (s *PhaseStats) Merge(b PhaseStats) {
 	s.Iters += b.Iters
 	s.CASRetries += b.CASRetries
 	s.Merges += b.Merges
+	s.Checked += b.Checked
+	s.Skipped += b.Skipped
 	if b.MaxIters > s.MaxIters {
 		s.MaxIters = b.MaxIters
 	}
@@ -73,6 +90,7 @@ const (
 	PhaseCompress      = "compress"         // inter-round compress pass (Fig 5 lines 6-8)
 	PhaseSample        = "sample_frequent"  // most-frequent-element search (Fig 5 line 10)
 	PhaseFinal         = "final_skip_pass"  // skip-aware pass over remaining edges (Fig 5 lines 11-15)
+	PhaseRelabel       = "relabel"          // frequency-based repacking of π + adjacency before the final pass
 	PhaseFinalCompress = "final_compress"   // final flattening pass (Fig 5 lines 16-18)
 	PhaseLinkAll       = "link_all"         // unsampled full link pass (Section III)
 	PhaseEdgeBatch     = "edge_batch_apply" // one coalesced incremental edge batch

@@ -1,0 +1,57 @@
+package obs
+
+import "testing"
+
+func TestObservedSkipRatio(t *testing.T) {
+	if r := (PhaseStats{}).ObservedSkipRatio(); r != 0 {
+		t.Errorf("empty stats skip ratio = %v, want 0", r)
+	}
+	st := PhaseStats{Checked: 200, Skipped: 150}
+	if r := st.ObservedSkipRatio(); r != 0.75 {
+		t.Errorf("skip ratio = %v, want 0.75", r)
+	}
+}
+
+func TestPhaseStatsMergeSkipCounters(t *testing.T) {
+	a := PhaseStats{Checked: 10, Skipped: 4, MaxIters: 3, SkipRatio: 0.5}
+	a.Merge(PhaseStats{Checked: 5, Skipped: 5, MaxIters: 2})
+	if a.Checked != 15 || a.Skipped != 9 {
+		t.Errorf("merged counters = %d/%d, want 15/9", a.Checked, a.Skipped)
+	}
+	if a.MaxIters != 3 {
+		t.Errorf("MaxIters = %d, want 3 (max, not sum)", a.MaxIters)
+	}
+	if a.SkipRatio != 0.5 {
+		t.Errorf("SkipRatio = %v, want 0.5 (zero operand must not clobber)", a.SkipRatio)
+	}
+	a.Merge(PhaseStats{SkipRatio: 0.9})
+	if a.SkipRatio != 0.9 {
+		t.Errorf("SkipRatio = %v, want 0.9 (last nonzero wins)", a.SkipRatio)
+	}
+}
+
+func TestGateReportSummary(t *testing.T) {
+	r := &GateReport{
+		Results: []GateResult{
+			{Algorithm: "afforest", Graph: "kron", Delta: -0.123, Status: GateImproved},
+			{Algorithm: "lp", Graph: "urand", Delta: 0.018, Status: GateOK},
+			{Algorithm: "sv", Graph: "kron", Status: GateNew},
+		},
+		BaselineRuns: 3,
+	}
+	got := r.Summary()
+	want := "gate ok: best afforest/kron -12.3%, worst lp/urand +1.8% (3 cells, 3 baseline runs)"
+	if got != want {
+		t.Errorf("Summary() = %q, want %q", got, want)
+	}
+
+	r.Results[1].Status = GateRegressed
+	if got := r.Summary(); got[:len("gate REGRESSED")] != "gate REGRESSED" {
+		t.Errorf("regressed Summary() = %q, want REGRESSED verdict", got)
+	}
+
+	empty := &GateReport{Results: []GateResult{{Algorithm: "sv", Graph: "kron", Status: GateNew}}}
+	if got := empty.Summary(); got != "gate ok: no comparable cells (1 cells, 0 baseline runs)" {
+		t.Errorf("all-new Summary() = %q", got)
+	}
+}

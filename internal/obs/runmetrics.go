@@ -20,7 +20,10 @@ type RunMetrics struct {
 	casRetries     *Counter
 	edges          *Counter
 	merges         *Counter
+	relabels       *Counter
+	skippedVerts   *Counter
 	skipRatio      *Gauge
+	skipObserved   *Gauge
 
 	reg *Registry
 
@@ -50,7 +53,10 @@ func NewRunMetrics(r *Registry) *RunMetrics {
 		casRetries:     r.Counter("afforest_link_cas_retries_total", "CAS retries inside Link."),
 		edges:          r.Counter("afforest_edges_processed_total", "Edges handed to link phases."),
 		merges:         r.Counter("afforest_edge_merges_total", "Edge applications that merged two components."),
+		relabels:       r.Counter("afforest_relabel_passes_total", "Frequency-based relabel passes before the final phase."),
+		skippedVerts:   r.Counter("afforest_final_skipped_vertices_total", "Vertices the final pass skipped via the component filter."),
 		skipRatio:      r.Gauge("afforest_skip_ratio", "Fraction of sampled vertices already in the largest component (last run)."),
+		skipObserved:   r.Gauge("afforest_skip_ratio_observed", "Realized skip fraction of the last final pass (skipped/checked)."),
 		reg:            r,
 		phaseNS:        make(map[string]*Counter),
 		open:           make(map[SpanID]openPhase),
@@ -95,12 +101,18 @@ func (m *RunMetrics) EndPhase(id SpanID, st PhaseStats) {
 		m.finalPasses.Inc()
 	case PhaseSample:
 		m.samplePasses.Inc()
+	case PhaseRelabel:
+		m.relabels.Inc()
 	}
 	m.linkCalls.Add(st.Links)
 	m.linkIters.Add(st.Iters)
 	m.casRetries.Add(st.CASRetries)
 	m.edges.Add(st.Edges)
 	m.merges.Add(st.Merges)
+	m.skippedVerts.Add(st.Skipped)
+	if st.Checked > 0 {
+		m.skipObserved.Set(st.ObservedSkipRatio())
+	}
 	if st.SkipRatio != 0 {
 		m.skipRatio.Set(st.SkipRatio)
 	}

@@ -99,6 +99,40 @@ func (r *GateReport) Regressed() []GateResult {
 	return out
 }
 
+// Summary renders the report as one line suitable for a changelog:
+// the best and worst delta cells plus the overall verdict, e.g.
+//
+//	gate ok: best afforest/kron -12.3%, worst lp/urand +1.8% (4 cells, 3 baseline runs)
+//
+// Cells with no comparable baseline are excluded from best/worst; a
+// report with nothing comparable says so instead of inventing deltas.
+func (r *GateReport) Summary() string {
+	verdict := "ok"
+	if !r.OK() {
+		verdict = "REGRESSED"
+	}
+	best, worst := -1, -1
+	for i, c := range r.Results {
+		if c.Status == GateNew {
+			continue
+		}
+		if best < 0 || c.Delta < r.Results[best].Delta {
+			best = i
+		}
+		if worst < 0 || c.Delta > r.Results[worst].Delta {
+			worst = i
+		}
+	}
+	if best < 0 {
+		return fmt.Sprintf("gate %s: no comparable cells (%d cells, %d baseline runs)",
+			verdict, len(r.Results), r.BaselineRuns)
+	}
+	b, w := r.Results[best], r.Results[worst]
+	return fmt.Sprintf("gate %s: best %s/%s %+.1f%%, worst %s/%s %+.1f%% (%d cells, %d baseline runs)",
+		verdict, b.Algorithm, b.Graph, b.Delta*100, w.Algorithm, w.Graph, w.Delta*100,
+		len(r.Results), r.BaselineRuns)
+}
+
 // GateCells judges each current cell against its baseline samples
 // (keyed by TrendCell.Key). Cells are judged independently; ordering of
 // results follows current.
