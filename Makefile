@@ -14,9 +14,9 @@ test:
 
 # check is the correctness gate: static checks, the full test suite,
 # the race matrix over the schedule-sensitive packages, a smoke run of
-# every fuzz target, and a run-vs-self pass of the perf gate. This is
-# what CI should run.
-check: vet build test race-matrix fuzz-smoke perfgate-smoke
+# every fuzz target, the multi-process cluster smoke, and a run-vs-self
+# pass of the perf gate. This is what CI should run.
+check: vet build test race-matrix fuzz-smoke cluster-smoke perfgate-smoke
 
 # The race detector only sees interleavings that happen, so the
 # schedule-sensitive packages run under three thread budgets: 1 (pure
@@ -29,6 +29,7 @@ race-matrix:
 		echo "== race matrix: GOMAXPROCS=$$p =="; \
 		GOMAXPROCS=$$p $(GO) test -race -count=1 \
 			./internal/concurrent ./internal/core ./internal/serve ./internal/testkit \
+			./internal/cluster \
 			|| exit 1; \
 	done
 
@@ -39,6 +40,14 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=10s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=10s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzServeHandlers -fuzztime=10s ./internal/serve
+
+# cluster-smoke spins up the real sharded deployment — three ccshard
+# processes plus a ccserve -cluster router on loopback — loads a kron-16
+# graph, checks the census against the single-node answer, scrapes
+# /metrics for live wire counters, and drills a shard leave/join with
+# snapshot handoff.
+cluster-smoke:
+	$(GO) test -run='^TestClusterSmoke$$' -count=1 -v ./cmd/ccserve
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -73,4 +82,4 @@ perfgate-smoke:
 		rm -f $$tmp || exit 1; \
 	done
 
-.PHONY: all build vet test check race-matrix fuzz-smoke bench perfgate perfgate-smoke
+.PHONY: all build vet test check race-matrix fuzz-smoke cluster-smoke bench perfgate perfgate-smoke

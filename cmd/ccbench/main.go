@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table2 | table3 | fig6a | fig6b | fig6c | fig7 | fig8a | fig8b | fig8c | ablation-rounds | ablation-sample | ablation-relabel | ablation-compress | ext-dist | ext-gpu | bench | layout | all")
+		exp      = flag.String("exp", "all", "experiment: table2 | table3 | fig6a | fig6b | fig6c | fig7 | fig8a | fig8b | fig8c | ablation-rounds | ablation-sample | ablation-relabel | ablation-compress | ext-dist | ext-gpu | bench | layout | dist | all")
 		benchOut = flag.String("benchout", "BENCH_afforest.json", "perf-trajectory history file appended to by -exp bench")
 		gate     = flag.Bool("gate", false, "measure the trajectory grid and gate it against the baseline history: print the per-cell delta table, exit 1 on regression (read-only; does not append)")
 		baseline = flag.String("baseline", "", "history file the gate compares against (default: the -benchout path)")
@@ -144,6 +144,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[layout cells appended to %s (%d runs on record)]\n", *benchOut, len(hist.History))
 	}
 
+	// `dist` is the sharded-deployment companion to `bench`: it boots a
+	// real 3-shard local cluster per run, measures ns/edge and wire
+	// bytes/edge for a full graph load, and appends the cells
+	// ("cluster", "cluster-bytes") to the same history — so `-gate`
+	// guards exchange-volume regressions alongside time regressions.
+	// Excluded from `all` like the other history-appending modes.
+	runDist := func() {
+		rep := bench.ClusterTrajectory(cfg)
+		emit(rep.Table())
+		hist, err := bench.LoadHistory(*benchOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: reading %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+		hist.Append(rep)
+		if err := hist.WriteJSON(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: writing %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[cluster cells appended to %s (%d runs on record)]\n", *benchOut, len(hist.History))
+	}
+
 	selected := strings.Split(*exp, ",")
 	ran := 0
 	for _, want := range selected {
@@ -159,6 +181,13 @@ func main() {
 			start := time.Now()
 			runLayout()
 			fmt.Fprintf(os.Stderr, "[layout done in %v]\n", time.Since(start).Round(time.Millisecond))
+			ran++
+			continue
+		}
+		if want == "dist" {
+			start := time.Now()
+			runDist()
+			fmt.Fprintf(os.Stderr, "[dist done in %v]\n", time.Since(start).Round(time.Millisecond))
 			ran++
 			continue
 		}
@@ -188,6 +217,12 @@ func gateRun(cfg bench.Config, path, slowCell string, tol float64) (bool, error)
 		return false, err
 	}
 	rep := bench.Trajectory(cfg)
+	// The cluster cells gate alongside the in-process ones: a change
+	// that inflates exchange volume (bytes/edge) or cluster load time
+	// fails the same gate as a link-phase slowdown. They only compare
+	// against history entries appended by `-exp dist` under the same
+	// configuration; with none on record they report as "new".
+	rep.Entries = append(rep.Entries, bench.ClusterTrajectory(cfg).Entries...)
 	if slowCell != "" {
 		key, factorStr, ok := strings.Cut(slowCell, "=")
 		if !ok {

@@ -53,6 +53,8 @@ func main() {
 		maxBatch = flag.Int("max-batch", 8192, "max edges per coalesced batch")
 		snapEach = flag.Duration("snapshot-every", 250*time.Millisecond, "census snapshot refresh period (negative = on demand)")
 
+		clusterAddrs = flag.String("cluster", "", "comma-separated ccshard addresses; serve as a sharded cluster router instead of single-node")
+
 		loadtest = flag.Bool("loadtest", false, "run the load generator instead of serving")
 		target   = flag.String("target", "", "loadtest target URL (empty = spin up an in-process server)")
 		duration = flag.Duration("duration", 5*time.Second, "loadtest duration")
@@ -80,6 +82,14 @@ func main() {
 	if *loadtest {
 		if err := loadtestMain(*target, *in, *genName, *restore, *n, *scale, *deg, *seed, cfg,
 			loadConfig{Duration: *duration, Clients: *clients, ReadFrac: *readFrac, Bulk: *bulk, Seed: *seed}); err != nil {
+			fmt.Fprintln(os.Stderr, "ccserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *clusterAddrs != "" {
+		if err := clusterMain(*clusterAddrs, *addr, *in, *genName, *restore, *save, *n, *scale, *deg, *seed, *par); err != nil {
 			fmt.Fprintln(os.Stderr, "ccserve:", err)
 			os.Exit(1)
 		}
@@ -118,15 +128,11 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 	}
-	// Stop accepting and finish in-flight requests first (write handlers
-	// block on batcher replies, so the batcher must outlive them), then
-	// drain the batch queue, then persist.
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutCtx); err != nil {
+	if err := drainServer(shutCtx, httpSrv, srv); err != nil {
 		fmt.Fprintln(os.Stderr, "ccserve: shutdown:", err)
 	}
-	srv.Close()
 	if *save != "" {
 		if err := srv.SaveSnapshot(*save); err != nil {
 			fmt.Fprintln(os.Stderr, "ccserve: saving snapshot:", err)
@@ -134,6 +140,22 @@ func main() {
 		}
 		fmt.Printf("snapshot saved to %s (%d edges)\n", *save, srv.EdgesAccepted())
 	}
+}
+
+// drainServer stops a ccserve service in an order that cannot strand
+// accepted writes: the serve layer closes first — cutting any pending
+// write-coalescing window short, flushing the batcher's queued batch,
+// and delivering acknowledgements to every write handler already
+// blocked on a reply, while new submissions start seeing 503s — and
+// only then does the HTTP listener drain its connections, which by
+// that point carry only short-lived reads or already-answered writes.
+// The reverse order (Shutdown first) parks in-flight write handlers on
+// the full -batch-window, which is user-tunable up to seconds, against
+// Shutdown's deadline: the drain stalls for the whole window, and a
+// window longer than the deadline abandons those handlers without acks.
+func drainServer(ctx context.Context, httpSrv *http.Server, srv *serve.Server) error {
+	srv.Close()
+	return httpSrv.Shutdown(ctx)
 }
 
 // buildServer resolves the graph source flags into a running server.
@@ -197,8 +219,7 @@ func startInProcess(srv *serve.Server) (string, func(), error) {
 	stop := func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		httpSrv.Shutdown(ctx)
-		srv.Close()
+		drainServer(ctx, httpSrv, srv)
 	}
 	return "http://" + ln.Addr().String(), stop, nil
 }

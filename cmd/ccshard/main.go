@@ -1,0 +1,50 @@
+// Command ccshard runs one shard member of a sharded connectivity
+// cluster. It is deliberately dumb: it listens for the cluster wire
+// protocol and waits for a router (ccserve -cluster) to assign it an
+// identity, stream it its edge partition, and drive exchange rounds.
+// All topology knowledge lives at the router, so a shard binary can be
+// started first and pointed at by any router later — including as the
+// replacement member in a leave/join transition, where the router
+// restores the departed member's π snapshot into it.
+//
+// The listen address is printed on stdout once the listener is up
+// ("listening on HOST:PORT"), so scripts using -addr 127.0.0.1:0 can
+// discover the kernel-assigned port.
+//
+// Example (3-shard cluster on loopback):
+//
+//	ccshard -addr 127.0.0.1:9001 &
+//	ccshard -addr 127.0.0.1:9002 &
+//	ccshard -addr 127.0.0.1:9003 &
+//	ccserve -cluster 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 -gen kron -scale 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"afforest/internal/cluster"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:0", "listen address for the cluster wire protocol")
+		par  = flag.Int("p", 0, "parallelism for batch edge application (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccshard:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	sh := cluster.NewShard(*par)
+	if err := sh.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "ccshard:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,242 @@
+// Package cluster is the real deployment of the distributed design
+// that internal/dist simulates: a sharded connectivity service where a
+// router process 1D-partitions the vertex space (dist.Partitioning)
+// across N shard processes, each running Afforest's link/compress
+// locally over its edge partition via core.Incremental, with component
+// labels reconciled across shards by bulk-synchronous ghost-label
+// exchange rounds — the same BSP structure as dist.ConnectedComponents,
+// lifted onto a wire.
+//
+// The wire protocol is length-prefixed binary over TCP:
+//
+//	frame   := length uint32 (big-endian, counts op+payload) | op uint8 | payload
+//	pair    := vertex uint32 | label uint32 (little-endian, like the repo's file formats)
+//
+// Every RPC is one request frame answered by one response frame on a
+// persistent connection (the router serializes requests per shard
+// connection; fan-out across shards is concurrent). The simulation's
+// counted messages become real frames here, so the message/byte/round
+// statistics internal/dist reports turn into live wire metrics on the
+// router's /metrics.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"afforest/internal/graph"
+	"afforest/internal/obs"
+)
+
+// Protocol ops. Requests are router→shard; a response reuses the
+// request op on success or carries opError with a UTF-8 message.
+const (
+	opInit     byte = 1  // n u64 | numShards u32 | shardID u32 → (empty)
+	opEdges    byte = 2  // pairs (edges) → merged u32
+	opOutbox   byte = 3  // (empty) → pairs (remote ref, local label)
+	opIngest   byte = 4  // pairs (owned v, remote opinion) → merged u32 | pairs (owned v, owner label)
+	opAbsorb   byte = 5  // pairs (remote ref, owner label) → merged u32
+	opQuery    byte = 6  // v u32 → label u32
+	opLabels   byte = 7  // lo u32 | hi u32 → labels [hi-lo]u32
+	opSnapshot byte = 8  // (empty) → lo u32 | hi u32 | edges u64 | labels [hi-lo]u32
+	opRestore  byte = 9  // lo u32 | hi u32 | edges u64 | labels [hi-lo]u32 → (empty)
+	opPing     byte = 10 // (empty) → (empty)
+	opShutdown byte = 11 // (empty) → (empty), then the shard exits its serve loop
+	opError    byte = 99 // message string (response only)
+)
+
+// maxFrame bounds a frame's payload so a corrupt or hostile length
+// prefix cannot force an arbitrary allocation (same discipline as the
+// chunked binary readers in internal/graph).
+const maxFrame = 1 << 28
+
+// writeFrame emits one frame. Counting happens at the conn wrapper, not
+// here, so the byte metrics include the length prefix — what the wire
+// actually carries.
+func writeFrame(w io.Writer, op byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = op
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, rejecting implausible lengths.
+func readFrame(r io.Reader) (op byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:4])
+	if length < 1 || length > maxFrame {
+		return 0, nil, fmt.Errorf("cluster: bad frame length %d", length)
+	}
+	op = hdr[4]
+	if length > 1 {
+		payload = make([]byte, length-1)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, err
+		}
+	}
+	return op, payload, nil
+}
+
+// --- payload builders/parsers ---
+
+func putU32(b []byte, v uint32) []byte {
+	var x [4]byte
+	binary.LittleEndian.PutUint32(x[:], v)
+	return append(b, x[:]...)
+}
+
+func putU64(b []byte, v uint64) []byte {
+	var x [8]byte
+	binary.LittleEndian.PutUint64(x[:], v)
+	return append(b, x[:]...)
+}
+
+// cursor is a bounds-checked little-endian payload reader.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+4 > len(c.b) {
+		c.err = fmt.Errorf("cluster: truncated payload at offset %d", c.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+8 > len(c.b) {
+		c.err = fmt.Errorf("cluster: truncated payload at offset %d", c.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("cluster: %d trailing payload bytes", len(c.b)-c.off)
+	}
+	return nil
+}
+
+// pair is one (vertex, label) unit of the exchange protocol — the same
+// quantum the simulation counts as a message.
+type pair struct {
+	V, Label graph.V
+}
+
+// encodePairs serializes count + pairs.
+func encodePairs(b []byte, pairs []pair) []byte {
+	b = putU32(b, uint32(len(pairs)))
+	for _, p := range pairs {
+		b = putU32(b, uint32(p.V))
+		b = putU32(b, uint32(p.Label))
+	}
+	return b
+}
+
+// decodePairs reads count + pairs from the cursor.
+func (c *cursor) pairs() []pair {
+	count := c.u32()
+	if c.err != nil {
+		return nil
+	}
+	if int(count) > (len(c.b)-c.off)/8 {
+		c.err = fmt.Errorf("cluster: pair count %d exceeds payload", count)
+		return nil
+	}
+	out := make([]pair, count)
+	for i := range out {
+		out[i] = pair{V: graph.V(c.u32()), Label: graph.V(c.u32())}
+	}
+	return out
+}
+
+// encodeLabels serializes a label block.
+func encodeLabels(b []byte, labels []graph.V) []byte {
+	for _, l := range labels {
+		b = putU32(b, uint32(l))
+	}
+	return b
+}
+
+func (c *cursor) labels(count int) []graph.V {
+	if c.err != nil {
+		return nil
+	}
+	if count > (len(c.b)-c.off)/4 {
+		c.err = fmt.Errorf("cluster: label count %d exceeds payload", count)
+		return nil
+	}
+	out := make([]graph.V, count)
+	for i := range out {
+		out[i] = graph.V(c.u32())
+	}
+	return out
+}
+
+// errorFrame renders an error as an opError response payload.
+func errorFrame(err error) (byte, []byte) { return opError, []byte(err.Error()) }
+
+// --- byte-counting connection wrapper ---
+
+// countedConn wraps a stream and tallies the bytes actually written and
+// read — frame prefixes included — into both local atomics (for
+// RouterStats) and optional registry counters (for /metrics). This is
+// where the simulation's BytesSent estimate becomes a measurement.
+type countedConn struct {
+	rw         io.ReadWriter
+	sent, recv atomic.Int64
+	sentCtr    *obs.Counter // may be nil
+	recvCtr    *obs.Counter // may be nil
+}
+
+func (c *countedConn) Read(p []byte) (int, error) {
+	n, err := c.rw.Read(p)
+	if n > 0 {
+		c.recv.Add(int64(n))
+		if c.recvCtr != nil {
+			c.recvCtr.Add(int64(n))
+		}
+	}
+	return n, err
+}
+
+func (c *countedConn) Write(p []byte) (int, error) {
+	n, err := c.rw.Write(p)
+	if n > 0 {
+		c.sent.Add(int64(n))
+		if c.sentCtr != nil {
+			c.sentCtr.Add(int64(n))
+		}
+	}
+	return n, err
+}

@@ -1,0 +1,1043 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"afforest/internal/dist"
+	"afforest/internal/graph"
+	"afforest/internal/obs"
+)
+
+// Config tunes a Router. The zero value is reasonable.
+type Config struct {
+	// Parallelism bounds worker goroutines for census assembly
+	// (0 = GOMAXPROCS); shards control their own link parallelism.
+	Parallelism int
+	// EdgeBatch caps edges per opEdges frame when streaming a graph or
+	// an ingest batch to a shard (0 = default 4096).
+	EdgeBatch int
+	// DialTimeout bounds each shard dial (0 = default 5s).
+	DialTimeout time.Duration
+	// Registry receives the router's wire metrics and backs
+	// GET /metrics. nil means a fresh private registry.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.EdgeBatch == 0 {
+		c.EdgeBatch = 4096
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// ErrDegraded is returned for writes while a shard slot is vacant
+// (between leave and join): the cluster serves reads from the retained
+// snapshot but refuses new edges rather than acknowledging writes some
+// member has not seen.
+var ErrDegraded = errors.New("cluster: degraded (shard slot vacant), writes refused")
+
+// shardConn is one persistent RPC connection with request/response
+// framing serialized by a mutex and every byte counted.
+type shardConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	cc   *countedConn
+	br   *bufio.Reader
+}
+
+// rpc issues one request frame and reads its response, unwrapping
+// opError into a Go error.
+func (sc *shardConn) rpc(op byte, payload []byte) ([]byte, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if err := writeFrame(sc.cc, op, payload); err != nil {
+		return nil, err
+	}
+	respOp, resp, err := readFrame(sc.br)
+	if err != nil {
+		return nil, err
+	}
+	if respOp == opError {
+		return nil, fmt.Errorf("cluster: shard error: %s", resp)
+	}
+	if respOp != op {
+		return nil, fmt.Errorf("cluster: response op %d for request op %d", respOp, op)
+	}
+	return resp, nil
+}
+
+// slot is one membership slot of the fixed-width partition: either an
+// active shard connection, or — after a leave — the departed member's
+// retained π snapshot, served read-only until a replacement joins.
+type slot struct {
+	addr      string
+	conn      *shardConn // nil when vacant
+	lo, hi    int
+	snap      []graph.V // retained owned-range labels while vacant
+	snapEdges int64
+	msgs      *obs.Counter
+	lag       *obs.Gauge
+}
+
+// Router coordinates N shard processes into one connectivity service.
+// It owns edge routing (each edge goes to both endpoints' owners),
+// drives BSP exchange rounds to a global fixed point after every write
+// batch, translates labels across shards for point queries, assembles
+// the global census by fan-out, and manages membership transitions with
+// π snapshot handoff. It implements http.Handler with the same
+// query surface as the single-node serve layer.
+type Router struct {
+	cfg       Config
+	n         int
+	part      dist.Partitioning
+	numShards int
+	slots     []*slot
+	mux       *http.ServeMux
+
+	// mu serializes writes/membership (Lock) against reads (RLock).
+	// Exchange runs under the write lock, so reads always observe a
+	// converged fixed point.
+	mu sync.RWMutex
+
+	edges    atomic.Int64
+	cutEdges atomic.Int64
+	started  time.Time
+
+	rounds     *obs.Counter
+	exchanges  *obs.Counter
+	exchangeNS *obs.Histogram
+	activeG    *obs.Gauge
+	reqs       struct{ connected, census, edges, stats, metrics, healthz, admin, bad, rejected *obs.Counter }
+}
+
+// NewRouter dials the shard addresses, initializes each member with its
+// partition coordinates, and returns the serving router. When len(addrs)
+// exceeds the vertex count the surplus addresses are ignored (the 1D
+// partition cannot give them a range).
+func NewRouter(addrs []string, n int, cfg Config) (*Router, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("cluster: no shard addresses")
+	}
+	cfg = cfg.withDefaults()
+	part := dist.NewPartitioning(n, len(addrs))
+	r := &Router{
+		cfg:       cfg,
+		n:         n,
+		part:      part,
+		numShards: part.NumNodes,
+		mux:       http.NewServeMux(),
+		started:   time.Now(),
+	}
+	reg := cfg.Registry
+	r.rounds = reg.Counter("afforest_cluster_exchange_rounds_total",
+		"BSP ghost-label exchange rounds driven to fixed point.")
+	r.exchanges = reg.Counter("afforest_cluster_exchanges_total",
+		"Exchange-to-fixed-point invocations (one per write batch).")
+	r.exchangeNS = reg.Histogram("afforest_cluster_exchange_ns",
+		"Wall time of one exchange-to-fixed-point, ns.", obs.DefaultLatencyBuckets)
+	r.activeG = reg.Gauge("afforest_cluster_shards_active", "Shard slots currently connected.")
+	reg.Gauge("afforest_cluster_shards", "Shard slots in the partition.").Set(float64(r.numShards))
+	h := func(name string) *obs.Counter {
+		return reg.Counter("afforest_http_requests_total",
+			"HTTP requests served, by handler.", obs.L("handler", name))
+	}
+	r.reqs.connected = h("connected")
+	r.reqs.census = h("census")
+	r.reqs.edges = h("edges")
+	r.reqs.stats = h("stats")
+	r.reqs.metrics = h("metrics")
+	r.reqs.healthz = h("healthz")
+	r.reqs.admin = h("cluster")
+	r.reqs.bad = reg.Counter("afforest_http_errors_total", "Requests answered with a 4xx status.")
+	r.reqs.rejected = reg.Counter("afforest_writes_rejected_total",
+		"Edge submissions refused while the cluster was degraded.")
+
+	for id := 0; id < r.numShards; id++ {
+		lo, hi := part.Range(id)
+		sl := &slot{
+			addr: addrs[id], lo: lo, hi: hi,
+			msgs: reg.Counter("afforest_cluster_messages_total",
+				"Exchange label messages (pairs) to/from this shard.", obs.L("shard", strconv.Itoa(id))),
+			lag: reg.Gauge("afforest_cluster_shard_lag_ns",
+				"How far this shard's exchange RPCs trailed the round's slowest member, ns.",
+				obs.L("shard", strconv.Itoa(id))),
+		}
+		conn, err := r.dial(sl.addr, id)
+		if err != nil {
+			r.closeAll()
+			return nil, err
+		}
+		sl.conn = conn
+		r.slots = append(r.slots, sl)
+	}
+	r.activeG.Set(float64(r.numShards))
+
+	r.mux.HandleFunc("GET /connected", r.handleConnected)
+	r.mux.HandleFunc("GET /census", r.handleCensus)
+	r.mux.HandleFunc("POST /edges", r.handleEdges)
+	r.mux.HandleFunc("GET /stats", r.handleStats)
+	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
+	r.mux.HandleFunc("GET /cluster", r.handleTopology)
+	r.mux.HandleFunc("POST /cluster/leave", r.handleLeave)
+	r.mux.HandleFunc("POST /cluster/join", r.handleJoin)
+	metricsHandler := cfg.Registry.Handler()
+	r.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		r.reqs.metrics.Inc()
+		metricsHandler.ServeHTTP(w, req)
+	})
+	return r, nil
+}
+
+// dial connects to a shard address and initializes it for slot id.
+func (r *Router) dial(addr string, id int) (*shardConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, r.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dialing shard %d at %s: %w", id, addr, err)
+	}
+	reg := r.cfg.Registry
+	cc := &countedConn{
+		rw: conn,
+		sentCtr: reg.Counter("afforest_cluster_bytes_total",
+			"Wire bytes by shard and direction.", obs.L("shard", strconv.Itoa(id)), obs.L("dir", "sent")),
+		recvCtr: reg.Counter("afforest_cluster_bytes_total",
+			"Wire bytes by shard and direction.", obs.L("shard", strconv.Itoa(id)), obs.L("dir", "recv")),
+	}
+	sc := &shardConn{conn: conn, cc: cc, br: bufio.NewReader(cc)}
+	payload := putU64(nil, uint64(r.n))
+	payload = putU32(payload, uint32(r.numShards))
+	payload = putU32(payload, uint32(id))
+	if _, err := sc.rpc(opInit, payload); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: initializing shard %d: %w", id, err)
+	}
+	return sc, nil
+}
+
+// closeAll drops every live connection without shutting the shard
+// processes down (constructor failure path).
+func (r *Router) closeAll() {
+	for _, sl := range r.slots {
+		if sl.conn != nil {
+			sl.conn.conn.Close()
+		}
+	}
+}
+
+// Close disconnects from all shards. When shutdownShards is true each
+// member is sent opShutdown first, ending its serve loop (used by the
+// local harness and by ccserve's drain so a ^C tears the whole local
+// topology down).
+func (r *Router) Close(shutdownShards bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, sl := range r.slots {
+		if sl.conn == nil {
+			continue
+		}
+		if shutdownShards {
+			sl.conn.rpc(opShutdown, nil) // best-effort
+		}
+		sl.conn.conn.Close()
+		sl.conn = nil
+	}
+	r.activeG.Set(0)
+}
+
+// NumVertices returns the partitioned vertex count.
+func (r *Router) NumVertices() int { return r.n }
+
+// NumShards returns the partition width (active + vacant slots).
+func (r *Router) NumShards() int { return r.numShards }
+
+// EdgesAccepted returns the number of undirected edges accepted.
+func (r *Router) EdgesAccepted() int64 { return r.edges.Load() }
+
+// degradedLocked reports whether any slot is vacant. Caller holds mu.
+func (r *Router) degradedLocked() bool {
+	for _, sl := range r.slots {
+		if sl.conn == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// forEachActive runs fn(slot) concurrently over the active slots and
+// returns the first error.
+func (r *Router) forEachActive(fn func(id int, sl *slot) error) error {
+	errs := make([]error, len(r.slots))
+	var wg sync.WaitGroup
+	for id, sl := range r.slots {
+		if sl.conn == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(id int, sl *slot) {
+			defer wg.Done()
+			errs[id] = fn(id, sl)
+		}(id, sl)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// sendEdges streams edges to one shard in EdgeBatch-sized frames and
+// returns the shard's merge count.
+func (r *Router) sendEdges(sl *slot, edges []pair) (int64, error) {
+	var merged int64
+	for len(edges) > 0 {
+		k := min(len(edges), r.cfg.EdgeBatch)
+		resp, err := sl.conn.rpc(opEdges, encodePairs(nil, edges[:k]))
+		if err != nil {
+			return merged, err
+		}
+		c := &cursor{b: resp}
+		m := c.u32()
+		if err := c.done(); err != nil {
+			return merged, err
+		}
+		merged += int64(m)
+		edges = edges[k:]
+	}
+	return merged, nil
+}
+
+// routeEdges splits an edge batch into per-owner lists. Every edge goes
+// to owner(u); a cut edge additionally goes to owner(v) as a ghost copy
+// (both sides must link it, exactly as both endpoints' nodes do in the
+// simulation), whose merge count is not double-counted.
+func (r *Router) routeEdges(edges []graph.Edge) (primary, ghost [][]pair) {
+	primary = make([][]pair, r.numShards)
+	ghost = make([][]pair, r.numShards)
+	var cut int64
+	for _, e := range edges {
+		ou, ov := r.part.Owner(e.U), r.part.Owner(e.V)
+		primary[ou] = append(primary[ou], pair{V: e.U, Label: e.V})
+		if ov != ou {
+			ghost[ov] = append(ghost[ov], pair{V: e.U, Label: e.V})
+			cut++
+		}
+	}
+	if cut > 0 {
+		r.cutEdges.Add(cut)
+	}
+	return primary, ghost
+}
+
+// applyEdgesLocked routes and applies a batch, then drives the exchange
+// to a fixed point. Caller holds the write lock and has checked
+// degraded. Returns the merge count from the primary copies.
+func (r *Router) applyEdgesLocked(edges []graph.Edge) (int64, error) {
+	primary, ghost := r.routeEdges(edges)
+	var merged atomic.Int64
+	err := r.forEachActive(func(id int, sl *slot) error {
+		m, err := r.sendEdges(sl, primary[id])
+		if err != nil {
+			return err
+		}
+		merged.Add(m)
+		if _, err := r.sendEdges(sl, ghost[id]); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := r.exchangeLocked(); err != nil {
+		return 0, err
+	}
+	r.edges.Add(int64(len(edges)))
+	return merged.Load(), nil
+}
+
+// AddEdges accepts a batch of undirected edges, applies them across the
+// cluster, reconciles to a fixed point, and returns how many merged two
+// components (counted on the primary owner). Refused with ErrDegraded
+// while a slot is vacant.
+func (r *Router) AddEdges(edges []graph.Edge) (int64, error) {
+	for _, e := range edges {
+		if int(e.U) >= r.n || int(e.V) >= r.n {
+			return 0, fmt.Errorf("cluster: edge {%d,%d} out of range (|V|=%d)", e.U, e.V, r.n)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.degradedLocked() {
+		return 0, ErrDegraded
+	}
+	return r.applyEdgesLocked(edges)
+}
+
+// LoadGraph streams every edge of g to its owners and reconciles. This
+// is the cluster bootstrap (`ccserve -cluster` calls it before
+// serving).
+func (r *Router) LoadGraph(g *graph.CSR) error {
+	if g.NumVertices() > r.n {
+		return fmt.Errorf("cluster: graph has %d vertices, router partitioned for %d", g.NumVertices(), r.n)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.degradedLocked() {
+		return ErrDegraded
+	}
+	_, err := r.applyEdgesLocked(g.Edges())
+	return err
+}
+
+// exchangeLocked drives BSP rounds until no shard reports a merge: each
+// round, every shard's outbox of (remote ref, local label) opinions is
+// gathered, grouped by owner, ingested there, and the owners' canonical
+// labels are routed back and absorbed. One round's RPCs fan out
+// concurrently across shards with a barrier between phases — the
+// superstep structure of dist.ConnectedComponents on a real wire.
+// Caller holds the write lock with all slots active.
+func (r *Router) exchangeLocked() error {
+	start := time.Now()
+	defer func() {
+		r.exchanges.Inc()
+		r.exchangeNS.ObserveDuration(time.Since(start))
+	}()
+	type origin struct{ src, idx int }
+	for {
+		roundStart := time.Now()
+		rpcNS := make([]int64, r.numShards)
+		timed := func(id int, fn func() error) error {
+			t0 := time.Now()
+			err := fn()
+			atomic.AddInt64(&rpcNS[id], time.Since(t0).Nanoseconds())
+			return err
+		}
+
+		// Superstep phase 1: gather outboxes.
+		outboxes := make([][]pair, r.numShards)
+		err := r.forEachActive(func(id int, sl *slot) error {
+			return timed(id, func() error {
+				resp, err := sl.conn.rpc(opOutbox, nil)
+				if err != nil {
+					return err
+				}
+				c := &cursor{b: resp}
+				outboxes[id] = c.pairs()
+				if err := c.done(); err != nil {
+					return err
+				}
+				sl.msgs.Add(int64(len(outboxes[id])))
+				return nil
+			})
+		})
+		if err != nil {
+			return err
+		}
+
+		// Group opinions by owner, remembering where each came from.
+		ingest := make([][]pair, r.numShards)
+		origins := make([][]origin, r.numShards)
+		for src, out := range outboxes {
+			for idx, p := range out {
+				dest := r.part.Owner(p.V)
+				ingest[dest] = append(ingest[dest], p)
+				origins[dest] = append(origins[dest], origin{src: src, idx: idx})
+			}
+		}
+
+		// Superstep phase 2: owners ingest and reply with canon labels.
+		var totalMerged atomic.Int64
+		replies := make([][]pair, r.numShards)
+		err = r.forEachActive(func(id int, sl *slot) error {
+			if len(ingest[id]) == 0 {
+				return nil
+			}
+			return timed(id, func() error {
+				resp, err := sl.conn.rpc(opIngest, encodePairs(nil, ingest[id]))
+				if err != nil {
+					return err
+				}
+				c := &cursor{b: resp}
+				merged := c.u32()
+				replies[id] = c.pairs()
+				if err := c.done(); err != nil {
+					return err
+				}
+				if len(replies[id]) != len(ingest[id]) {
+					return fmt.Errorf("cluster: shard %d replied %d labels for %d opinions",
+						id, len(replies[id]), len(ingest[id]))
+				}
+				totalMerged.Add(int64(merged))
+				sl.msgs.Add(int64(len(ingest[id])) + int64(len(replies[id])))
+				return nil
+			})
+		})
+		if err != nil {
+			return err
+		}
+
+		// Scatter owner labels back to the shards that asked.
+		absorbs := make([][]pair, r.numShards)
+		for dest := range replies {
+			for i, rep := range replies[dest] {
+				o := origins[dest][i]
+				absorbs[o.src] = append(absorbs[o.src], rep)
+			}
+		}
+
+		// Superstep phase 3: askers absorb canonical labels.
+		err = r.forEachActive(func(id int, sl *slot) error {
+			if len(absorbs[id]) == 0 {
+				return nil
+			}
+			return timed(id, func() error {
+				resp, err := sl.conn.rpc(opAbsorb, encodePairs(nil, absorbs[id]))
+				if err != nil {
+					return err
+				}
+				c := &cursor{b: resp}
+				merged := c.u32()
+				if err := c.done(); err != nil {
+					return err
+				}
+				totalMerged.Add(int64(merged))
+				sl.msgs.Add(int64(len(absorbs[id])))
+				return nil
+			})
+		})
+		if err != nil {
+			return err
+		}
+
+		// Lag: how far each member trailed the round's critical path.
+		var maxNS int64
+		for _, ns := range rpcNS {
+			maxNS = max(maxNS, ns)
+		}
+		for id, sl := range r.slots {
+			if sl.conn != nil {
+				sl.lag.Set(float64(maxNS - rpcNS[id]))
+			}
+		}
+		r.rounds.Inc()
+		_ = roundStart
+		if totalMerged.Load() == 0 {
+			return nil
+		}
+	}
+}
+
+// ownerLabel returns the owner's current label for v, reading from the
+// retained snapshot when the owner's slot is vacant. Caller holds at
+// least the read lock.
+func (r *Router) ownerLabel(v graph.V) (graph.V, error) {
+	sl := r.slots[r.part.Owner(v)]
+	if sl.conn == nil {
+		return sl.snap[int(v)-sl.lo], nil
+	}
+	resp, err := sl.conn.rpc(opQuery, putU32(nil, uint32(v)))
+	if err != nil {
+		return 0, err
+	}
+	c := &cursor{b: resp}
+	l := graph.V(c.u32())
+	if err := c.done(); err != nil {
+		return 0, err
+	}
+	return l, nil
+}
+
+// Resolve translates v to its globally canonical component label by
+// following owner labels across shards until a fixed point: each hop
+// asks owner(x) for its label of x, and labels strictly decrease, so
+// the walk terminates at the component's minimum id once the exchange
+// has converged.
+func (r *Router) Resolve(v graph.V) (graph.V, error) {
+	if int(v) >= r.n {
+		return 0, fmt.Errorf("cluster: vertex %d out of range (|V|=%d)", v, r.n)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.resolveLocked(v)
+}
+
+func (r *Router) resolveLocked(v graph.V) (graph.V, error) {
+	for {
+		l, err := r.ownerLabel(v)
+		if err != nil {
+			return 0, err
+		}
+		if l == v {
+			return v, nil
+		}
+		v = l
+	}
+}
+
+// Connected reports whether u and v are in the same component.
+func (r *Router) Connected(u, v graph.V) (bool, error) {
+	if int(u) >= r.n || int(v) >= r.n {
+		return false, fmt.Errorf("cluster: vertex out of range (|V|=%d)", r.n)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	lu, err := r.resolveLocked(u)
+	if err != nil {
+		return false, err
+	}
+	lv, err := r.resolveLocked(v)
+	if err != nil {
+		return false, err
+	}
+	return lu == lv, nil
+}
+
+// GlobalLabels fans out to every slot for its owned-range labels and
+// shortcuts cross-shard label chains to roots — the canonical min-id
+// labeling a single-node run would produce (the final ownership pass of
+// the simulation, executed at the router over real shard responses).
+func (r *Router) GlobalLabels() ([]graph.V, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.globalLabelsLocked()
+}
+
+func (r *Router) globalLabelsLocked() ([]graph.V, error) {
+	labels := make([]graph.V, r.n)
+	err := func() error {
+		errs := make([]error, len(r.slots))
+		var wg sync.WaitGroup
+		for id, sl := range r.slots {
+			wg.Add(1)
+			go func(id int, sl *slot) {
+				defer wg.Done()
+				if sl.conn == nil {
+					copy(labels[sl.lo:sl.hi], sl.snap)
+					return
+				}
+				payload := putU32(putU32(nil, uint32(sl.lo)), uint32(sl.hi))
+				resp, err := sl.conn.rpc(opLabels, payload)
+				if err != nil {
+					errs[id] = err
+					return
+				}
+				c := &cursor{b: resp}
+				got := c.labels(sl.hi - sl.lo)
+				if err := c.done(); err != nil {
+					errs[id] = err
+					return
+				}
+				copy(labels[sl.lo:sl.hi], got)
+			}(id, sl)
+		}
+		wg.Wait()
+		return errors.Join(errs...)
+	}()
+	if err != nil {
+		return nil, err
+	}
+	// Shortcut across shards: a label is itself labeled at its owner;
+	// iterate label-of-label until every chain bottoms out at a root.
+	for changed := true; changed; {
+		changed = false
+		for u := range labels {
+			l := labels[u]
+			if ll := labels[l]; ll != l {
+				labels[u] = ll
+				changed = true
+			}
+		}
+	}
+	return labels, nil
+}
+
+// Component is one census entry (same JSON shape as the serve layer's).
+type Component struct {
+	Label graph.V `json:"label"`
+	Size  int     `json:"size"`
+}
+
+// Census assembles the global component census, largest first (ties by
+// label).
+func (r *Router) Census() (labels []graph.V, census []Component, err error) {
+	labels, err = r.GlobalLabels()
+	if err != nil {
+		return nil, nil, err
+	}
+	counts := make(map[graph.V]int, 64)
+	for _, l := range labels {
+		counts[l]++
+	}
+	census = make([]Component, 0, len(counts))
+	for l, c := range counts {
+		census = append(census, Component{Label: l, Size: c})
+	}
+	sort.Slice(census, func(i, j int) bool {
+		if census[i].Size != census[j].Size {
+			return census[i].Size > census[j].Size
+		}
+		return census[i].Label < census[j].Label
+	})
+	return labels, census, nil
+}
+
+// Leave removes shard id from the cluster: its π snapshot is pulled and
+// retained at the router (handoff custody), the member is sent
+// opShutdown, and the slot goes vacant. Reads keep answering from the
+// snapshot; writes are refused until a replacement joins.
+func (r *Router) Leave(id int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id < 0 || id >= r.numShards {
+		return fmt.Errorf("cluster: no shard slot %d", id)
+	}
+	sl := r.slots[id]
+	if sl.conn == nil {
+		return fmt.Errorf("cluster: shard slot %d already vacant", id)
+	}
+	resp, err := sl.conn.rpc(opSnapshot, nil)
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot handoff from shard %d: %w", id, err)
+	}
+	c := &cursor{b: resp}
+	lo, hi := int(c.u32()), int(c.u32())
+	snapEdges := int64(c.u64())
+	snap := c.labels(hi - lo)
+	if err := c.done(); err != nil {
+		return err
+	}
+	if lo != sl.lo || hi != sl.hi {
+		return fmt.Errorf("cluster: shard %d snapshot range [%d,%d), want [%d,%d)", id, lo, hi, sl.lo, sl.hi)
+	}
+	sl.conn.rpc(opShutdown, nil) // best-effort: member may already be dying
+	sl.conn.conn.Close()
+	sl.conn = nil
+	sl.snap = snap
+	sl.snapEdges = snapEdges
+	r.activeG.Set(r.activeCount())
+	return nil
+}
+
+// Join fills vacant slot id with a fresh member at addr: the retained π
+// snapshot is restored into it, the slot reactivates, and one exchange
+// re-establishes the global fixed point.
+func (r *Router) Join(id int, addr string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id < 0 || id >= r.numShards {
+		return fmt.Errorf("cluster: no shard slot %d", id)
+	}
+	sl := r.slots[id]
+	if sl.conn != nil {
+		return fmt.Errorf("cluster: shard slot %d is active; leave it first", id)
+	}
+	if sl.snap == nil {
+		return fmt.Errorf("cluster: no retained snapshot for slot %d", id)
+	}
+	conn, err := r.dial(addr, id)
+	if err != nil {
+		return err
+	}
+	payload := putU32(nil, uint32(sl.lo))
+	payload = putU32(payload, uint32(sl.hi))
+	payload = putU64(payload, uint64(sl.snapEdges))
+	payload = encodeLabels(payload, sl.snap)
+	if _, err := conn.rpc(opRestore, payload); err != nil {
+		conn.conn.Close()
+		return fmt.Errorf("cluster: restoring snapshot into shard %d: %w", id, err)
+	}
+	sl.conn = conn
+	sl.addr = addr
+	sl.snap = nil
+	sl.snapEdges = 0
+	r.activeG.Set(r.activeCount())
+	return r.exchangeLocked()
+}
+
+func (r *Router) activeCount() float64 {
+	active := 0
+	for _, sl := range r.slots {
+		if sl.conn != nil {
+			active++
+		}
+	}
+	return float64(active)
+}
+
+// RouterStats is the wire-level tally the simulation's dist.Stats
+// becomes in deployment.
+type RouterStats struct {
+	Shards    int   `json:"shards"`
+	Active    int   `json:"active"`
+	Rounds    int64 `json:"rounds"`
+	Exchanges int64 `json:"exchanges"`
+	CutEdges  int64 `json:"cut_edges"`
+	Messages  int64 `json:"messages"`
+	BytesSent int64 `json:"bytes_sent"`
+	BytesRecv int64 `json:"bytes_recv"`
+}
+
+// Stats returns the current wire tallies.
+func (r *Router) Stats() RouterStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st := RouterStats{
+		Shards:    r.numShards,
+		Active:    int(r.activeCount()),
+		Rounds:    r.rounds.Value(),
+		Exchanges: r.exchanges.Value(),
+		CutEdges:  r.cutEdges.Load(),
+	}
+	for _, sl := range r.slots {
+		st.Messages += sl.msgs.Value()
+		if sl.conn != nil {
+			st.BytesSent += sl.conn.cc.sent.Load()
+			st.BytesRecv += sl.conn.cc.recv.Load()
+		}
+	}
+	return st
+}
+
+// Registry returns the registry backing this router's /metrics.
+func (r *Router) Registry() *obs.Registry { return r.cfg.Registry }
+
+// --- HTTP surface ---
+
+// ServeHTTP implements http.Handler.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r.mux.ServeHTTP(w, req)
+}
+
+func (r *Router) httpError(w http.ResponseWriter, code int, msg string) {
+	if code < 500 {
+		r.reqs.bad.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (r *Router) vertexParam(req *http.Request, name string) (graph.V, error) {
+	raw := req.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	x, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad vertex %q: %v", raw, err)
+	}
+	if x >= uint64(r.n) {
+		return 0, fmt.Errorf("vertex %d out of range (|V|=%d)", x, r.n)
+	}
+	return graph.V(x), nil
+}
+
+func (r *Router) handleConnected(w http.ResponseWriter, req *http.Request) {
+	r.reqs.connected.Inc()
+	u, err := r.vertexParam(req, "u")
+	if err != nil {
+		r.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	v, err := r.vertexParam(req, "v")
+	if err != nil {
+		r.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	conn, err := r.Connected(u, v)
+	if err != nil {
+		r.httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"u": u, "v": v, "connected": conn})
+}
+
+func (r *Router) handleCensus(w http.ResponseWriter, req *http.Request) {
+	r.reqs.census.Inc()
+	top := 10
+	if raw := req.URL.Query().Get("top"); raw != "" {
+		k, err := strconv.Atoi(raw)
+		if err != nil || k < 0 {
+			r.httpError(w, http.StatusBadRequest, fmt.Sprintf("bad top %q", raw))
+			return
+		}
+		top = k
+	}
+	labels, census, err := r.Census()
+	if err != nil {
+		r.httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	full := len(census)
+	if len(census) > top {
+		census = census[:top]
+	}
+	writeJSON(w, map[string]any{
+		"vertices":   len(labels),
+		"components": full,
+		"edges":      r.edges.Load(),
+		"top":        census,
+	})
+}
+
+// edgesRequest mirrors the single-node serve body: a single edge
+// {"u":1,"v":2} or a bulk batch {"edges":[[1,2],[3,4],...]}.
+type edgesRequest struct {
+	U     *uint32     `json:"u"`
+	V     *uint32     `json:"v"`
+	Edges [][2]uint32 `json:"edges"`
+}
+
+func (r *Router) handleEdges(w http.ResponseWriter, req *http.Request) {
+	r.reqs.edges.Inc()
+	var body edgesRequest
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		r.httpError(w, http.StatusBadRequest, "bad body: "+err.Error())
+		return
+	}
+	var edges []graph.Edge
+	switch {
+	case body.Edges != nil:
+		if body.U != nil || body.V != nil {
+			r.httpError(w, http.StatusBadRequest, `provide either "u"/"v" or "edges", not both`)
+			return
+		}
+		edges = make([]graph.Edge, len(body.Edges))
+		for i, e := range body.Edges {
+			edges[i] = graph.Edge{U: e[0], V: e[1]}
+		}
+	case body.U != nil && body.V != nil:
+		edges = []graph.Edge{{U: *body.U, V: *body.V}}
+	default:
+		r.httpError(w, http.StatusBadRequest, `provide "u" and "v", or "edges"`)
+		return
+	}
+	for _, e := range edges {
+		if int(e.U) >= r.n || int(e.V) >= r.n {
+			r.httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("edge {%d,%d} out of range (|V|=%d)", e.U, e.V, r.n))
+			return
+		}
+	}
+	merged, err := r.AddEdges(edges)
+	if errors.Is(err, ErrDegraded) {
+		r.reqs.rejected.Inc()
+		r.httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if err != nil {
+		r.httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"accepted": len(edges), "merged": merged})
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	r.reqs.stats.Inc()
+	st := r.Stats()
+	writeJSON(w, map[string]any{
+		"uptime_seconds": time.Since(r.started).Seconds(),
+		"vertices":       r.n,
+		"edges_accepted": r.edges.Load(),
+		"cluster":        st,
+	})
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	r.reqs.healthz.Inc()
+	r.mu.RLock()
+	degraded := r.degradedLocked()
+	r.mu.RUnlock()
+	status := "ok"
+	if degraded {
+		status = "degraded"
+	}
+	writeJSON(w, map[string]any{
+		"status":   status,
+		"vertices": r.n,
+		"shards":   r.numShards,
+	})
+}
+
+func (r *Router) handleTopology(w http.ResponseWriter, req *http.Request) {
+	r.reqs.admin.Inc()
+	r.mu.RLock()
+	type slotInfo struct {
+		ID     int    `json:"id"`
+		Addr   string `json:"addr"`
+		Lo     int    `json:"lo"`
+		Hi     int    `json:"hi"`
+		Active bool   `json:"active"`
+	}
+	slots := make([]slotInfo, len(r.slots))
+	for id, sl := range r.slots {
+		slots[id] = slotInfo{ID: id, Addr: sl.addr, Lo: sl.lo, Hi: sl.hi, Active: sl.conn != nil}
+	}
+	degraded := r.degradedLocked()
+	r.mu.RUnlock()
+	writeJSON(w, map[string]any{"shards": slots, "degraded": degraded})
+}
+
+func (r *Router) shardParam(req *http.Request) (int, error) {
+	raw := req.URL.Query().Get("shard")
+	if raw == "" {
+		return 0, errors.New(`missing query parameter "shard"`)
+	}
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad shard %q: %v", raw, err)
+	}
+	return id, nil
+}
+
+func (r *Router) handleLeave(w http.ResponseWriter, req *http.Request) {
+	r.reqs.admin.Inc()
+	id, err := r.shardParam(req)
+	if err != nil {
+		r.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := r.Leave(id); err != nil {
+		r.httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"left": id})
+}
+
+func (r *Router) handleJoin(w http.ResponseWriter, req *http.Request) {
+	r.reqs.admin.Inc()
+	id, err := r.shardParam(req)
+	if err != nil {
+		r.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	addr := req.URL.Query().Get("addr")
+	if addr == "" {
+		r.httpError(w, http.StatusBadRequest, `missing query parameter "addr"`)
+		return
+	}
+	if err := r.Join(id, addr); err != nil {
+		r.httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"joined": id, "addr": addr})
+}

@@ -1,0 +1,428 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"afforest/internal/core"
+	"afforest/internal/dist"
+	"afforest/internal/graph"
+)
+
+// Shard is one cluster member: it owns a contiguous vertex range of the
+// 1D partition and runs Afforest's lock-free link/compress over every
+// edge the router sends it, via core.Incremental (the same engine the
+// single-node serve layer uses). Non-owned vertices that the shard has
+// an opinion about — ghost endpoints of cut edges, plus every remote
+// label that ever entered its π through the exchange — are tracked in
+// refs; each BSP exchange round pushes (ref, local label) opinions to
+// the ref's owner and absorbs the owner's canonical label back.
+//
+// Invariant: every remote vertex id appearing anywhere in the shard's π
+// is in refs. Remote ids enter π only through applyEdges endpoints,
+// ingest/absorb labels, or restored snapshot labels, and each of those
+// paths records the id, so the exchange never strands an opinion the
+// rest of the cluster cannot see.
+type Shard struct {
+	mu sync.Mutex
+
+	init        bool
+	n           int
+	id          int
+	numShards   int
+	lo, hi      int
+	part        dist.Partitioning
+	inc         *core.Incremental
+	refs        map[graph.V]struct{}
+	edges       int64 // arcs applied here (includes ghost copies)
+	parallelism int
+}
+
+// NewShard returns an uninitialized shard; the router's opInit
+// determines its identity and vertex space. parallelism bounds the
+// workers used for batch edge application (0 = GOMAXPROCS).
+func NewShard(parallelism int) *Shard {
+	return &Shard{parallelism: parallelism}
+}
+
+var errShutdown = errors.New("cluster: shard shutdown requested")
+
+// Serve accepts connections on ln and answers shard RPCs until an
+// opShutdown arrives or the listener is closed. Multiple concurrent
+// connections are allowed (shard state has its own lock); the router
+// uses one.
+func (sh *Shard) Serve(ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	shutdown := make(chan struct{})
+	var once sync.Once
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-shutdown:
+				return nil
+			default:
+				return err
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			if err := sh.serveConn(conn); errors.Is(err, errShutdown) {
+				once.Do(func() { close(shutdown); ln.Close() })
+			}
+		}()
+	}
+}
+
+// serveConn answers frames on one connection until EOF or shutdown.
+func (sh *Shard) serveConn(conn net.Conn) error {
+	for {
+		op, payload, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		respOp, resp, err := sh.handle(op, payload)
+		if err != nil {
+			respOp, resp = errorFrame(err)
+		}
+		if werr := writeFrame(conn, respOp, resp); werr != nil {
+			return werr
+		}
+		if op == opShutdown && err == nil {
+			return errShutdown
+		}
+	}
+}
+
+// handle dispatches one RPC. It returns the response op and payload, or
+// an error to be sent as opError.
+func (sh *Shard) handle(op byte, payload []byte) (byte, []byte, error) {
+	c := &cursor{b: payload}
+	switch op {
+	case opPing, opShutdown:
+		return op, nil, c.done()
+
+	case opInit:
+		n := c.u64()
+		numShards := c.u32()
+		id := c.u32()
+		if err := c.done(); err != nil {
+			return 0, nil, err
+		}
+		return op, nil, sh.initialize(int(n), int(numShards), int(id))
+
+	case opEdges:
+		pairs := c.pairs()
+		if err := c.done(); err != nil {
+			return 0, nil, err
+		}
+		merged, err := sh.applyEdges(pairs)
+		if err != nil {
+			return 0, nil, err
+		}
+		return op, putU32(nil, uint32(merged)), nil
+
+	case opOutbox:
+		if err := c.done(); err != nil {
+			return 0, nil, err
+		}
+		out, err := sh.outbox()
+		if err != nil {
+			return 0, nil, err
+		}
+		return op, encodePairs(nil, out), nil
+
+	case opIngest:
+		pairs := c.pairs()
+		if err := c.done(); err != nil {
+			return 0, nil, err
+		}
+		merged, replies, err := sh.ingest(pairs)
+		if err != nil {
+			return 0, nil, err
+		}
+		return op, encodePairs(putU32(nil, uint32(merged)), replies), nil
+
+	case opAbsorb:
+		pairs := c.pairs()
+		if err := c.done(); err != nil {
+			return 0, nil, err
+		}
+		merged, err := sh.absorb(pairs)
+		if err != nil {
+			return 0, nil, err
+		}
+		return op, putU32(nil, uint32(merged)), nil
+
+	case opQuery:
+		v := graph.V(c.u32())
+		if err := c.done(); err != nil {
+			return 0, nil, err
+		}
+		label, err := sh.query(v)
+		if err != nil {
+			return 0, nil, err
+		}
+		return op, putU32(nil, uint32(label)), nil
+
+	case opLabels:
+		lo, hi := int(c.u32()), int(c.u32())
+		if err := c.done(); err != nil {
+			return 0, nil, err
+		}
+		labels, err := sh.labelRange(lo, hi)
+		if err != nil {
+			return 0, nil, err
+		}
+		return op, encodeLabels(nil, labels), nil
+
+	case opSnapshot:
+		if err := c.done(); err != nil {
+			return 0, nil, err
+		}
+		lo, hi, edges, labels, err := sh.snapshot()
+		if err != nil {
+			return 0, nil, err
+		}
+		b := putU32(nil, uint32(lo))
+		b = putU32(b, uint32(hi))
+		b = putU64(b, uint64(edges))
+		return op, encodeLabels(b, labels), nil
+
+	case opRestore:
+		lo, hi := int(c.u32()), int(c.u32())
+		edges := int64(c.u64())
+		labels := c.labels(hi - lo)
+		if err := c.done(); err != nil {
+			return 0, nil, err
+		}
+		return op, nil, sh.restore(lo, hi, edges, labels)
+
+	default:
+		return 0, nil, fmt.Errorf("cluster: unknown op %d", op)
+	}
+}
+
+// initialize (re)creates the shard's state. Re-initialization is legal:
+// a replacement shard process is initialized and then restored from the
+// departed member's snapshot.
+func (sh *Shard) initialize(n, numShards, id int) error {
+	if n < 0 || numShards < 1 || id < 0 || id >= numShards {
+		return fmt.Errorf("cluster: bad init n=%d shards=%d id=%d", n, numShards, id)
+	}
+	part := dist.NewPartitioning(n, numShards)
+	if part.NumNodes != numShards {
+		return fmt.Errorf("cluster: %d shards for %d vertices (partition supports %d)",
+			numShards, n, part.NumNodes)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.init = true
+	sh.n = n
+	sh.id = id
+	sh.numShards = numShards
+	sh.part = part
+	sh.lo, sh.hi = part.Range(id)
+	sh.inc = core.NewIncremental(n)
+	sh.refs = make(map[graph.V]struct{})
+	sh.edges = 0
+	return nil
+}
+
+func (sh *Shard) requireInit() error {
+	if !sh.init {
+		return errors.New("cluster: shard not initialized")
+	}
+	return nil
+}
+
+func (sh *Shard) owned(v graph.V) bool { return int(v) >= sh.lo && int(v) < sh.hi }
+
+// noteRemote records a remote vertex id as a ref. Caller holds mu.
+func (sh *Shard) noteRemote(v graph.V) {
+	if !sh.owned(v) {
+		sh.refs[v] = struct{}{}
+	}
+}
+
+// applyEdges links a batch of edges into the local π. Ghost endpoints
+// (and nothing else here — labels produced by the links are existing π
+// entries) become refs. The link pass itself runs in parallel on the
+// worker pool: Theorem 1 makes the interleaving irrelevant.
+func (sh *Shard) applyEdges(pairs []pair) (int64, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.requireInit(); err != nil {
+		return 0, err
+	}
+	edges := make([]graph.Edge, len(pairs))
+	for i, p := range pairs {
+		if int(p.V) >= sh.n || int(p.Label) >= sh.n {
+			return 0, fmt.Errorf("cluster: edge {%d,%d} out of range (|V|=%d)", p.V, p.Label, sh.n)
+		}
+		sh.noteRemote(p.V)
+		sh.noteRemote(p.Label)
+		edges[i] = graph.Edge{U: p.V, V: p.Label}
+	}
+	merged := sh.inc.AddEdges(edges, sh.parallelism, nil)
+	sh.edges += int64(len(edges))
+	return merged, nil
+}
+
+// outbox returns the shard's current opinion (ref, find(ref)) for every
+// tracked remote vertex, sorted by vertex id so the wire traffic is
+// deterministic for a given state. Labels that are themselves new
+// remote vertices join refs, which is how label chains across three or
+// more shards get resolved in later rounds.
+func (sh *Shard) outbox() ([]pair, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.requireInit(); err != nil {
+		return nil, err
+	}
+	out := make([]pair, 0, len(sh.refs))
+	for r := range sh.refs {
+		l := sh.inc.Find(r)
+		out = append(out, pair{V: r, Label: l})
+	}
+	for _, p := range out {
+		sh.noteRemote(p.Label)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].V < out[j].V })
+	return out, nil
+}
+
+// ingest merges remote opinions about owned vertices and replies with
+// this shard's (canonical-so-far) label for each, in request order.
+func (sh *Shard) ingest(pairs []pair) (int64, []pair, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.requireInit(); err != nil {
+		return 0, nil, err
+	}
+	var merged int64
+	replies := make([]pair, len(pairs))
+	for i, p := range pairs {
+		if !sh.owned(p.V) {
+			return 0, nil, fmt.Errorf("cluster: ingest for %d, not owned by shard %d", p.V, sh.id)
+		}
+		if int(p.Label) >= sh.n {
+			return 0, nil, fmt.Errorf("cluster: ingest label %d out of range", p.Label)
+		}
+		sh.noteRemote(p.Label)
+		if sh.inc.AddEdge(p.V, p.Label) {
+			merged++
+		}
+		replies[i] = pair{V: p.V, Label: sh.inc.Find(p.V)}
+	}
+	return merged, replies, nil
+}
+
+// absorb merges owners' canonical labels for this shard's refs.
+func (sh *Shard) absorb(pairs []pair) (int64, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.requireInit(); err != nil {
+		return 0, err
+	}
+	var merged int64
+	for _, p := range pairs {
+		if int(p.V) >= sh.n || int(p.Label) >= sh.n {
+			return 0, fmt.Errorf("cluster: absorb pair {%d,%d} out of range", p.V, p.Label)
+		}
+		sh.noteRemote(p.V)
+		sh.noteRemote(p.Label)
+		if sh.inc.AddEdge(p.V, p.Label) {
+			merged++
+		}
+	}
+	return merged, nil
+}
+
+// query returns find(v). The router asks the owner, so v is usually
+// owned, but any vertex the shard knows about answers consistently.
+func (sh *Shard) query(v graph.V) (graph.V, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.requireInit(); err != nil {
+		return 0, err
+	}
+	if int(v) >= sh.n {
+		return 0, fmt.Errorf("cluster: query vertex %d out of range (|V|=%d)", v, sh.n)
+	}
+	return sh.inc.Find(v), nil
+}
+
+// labelRange returns find(v) for every v in [lo, hi).
+func (sh *Shard) labelRange(lo, hi int) ([]graph.V, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.requireInit(); err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi < lo || hi > sh.n {
+		return nil, fmt.Errorf("cluster: label range [%d,%d) out of bounds", lo, hi)
+	}
+	out := make([]graph.V, hi-lo)
+	for v := lo; v < hi; v++ {
+		out[v-lo] = sh.inc.Find(graph.V(v))
+	}
+	return out, nil
+}
+
+// snapshot returns the owned range's resolved labels plus the applied
+// arc count — the π handoff a departing member leaves with the router.
+func (sh *Shard) snapshot() (lo, hi int, edges int64, labels []graph.V, err error) {
+	sh.mu.Lock()
+	lo, hi, edges = sh.lo, sh.hi, sh.edges
+	sh.mu.Unlock()
+	labels, err = sh.labelRange(lo, hi)
+	return lo, hi, edges, labels, err
+}
+
+// restore installs a snapshot handed off from a departed member. The
+// shard must have been initialized with the same partition; refs are
+// rebuilt from the remote labels in the snapshot (ghost adjacency that
+// no longer shows up in labels is already merged into them, so nothing
+// is lost by not persisting the ghost set itself).
+func (sh *Shard) restore(lo, hi int, edges int64, labels []graph.V) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.requireInit(); err != nil {
+		return err
+	}
+	if lo != sh.lo || hi != sh.hi {
+		return fmt.Errorf("cluster: snapshot range [%d,%d) does not match shard %d's [%d,%d)",
+			lo, hi, sh.id, sh.lo, sh.hi)
+	}
+	if len(labels) != hi-lo {
+		return fmt.Errorf("cluster: snapshot has %d labels for range [%d,%d)", len(labels), lo, hi)
+	}
+	full := make([]graph.V, sh.n)
+	for v := range full {
+		full[v] = graph.V(v)
+	}
+	for i, l := range labels {
+		if int(l) > lo+i {
+			return fmt.Errorf("cluster: snapshot label[%d]=%d violates π(x) ≤ x", lo+i, l)
+		}
+		full[lo+i] = l
+	}
+	inc, err := core.RestoreIncremental(full)
+	if err != nil {
+		return err
+	}
+	sh.inc = inc
+	sh.edges = edges
+	sh.refs = make(map[graph.V]struct{})
+	for _, l := range labels {
+		sh.noteRemote(l)
+	}
+	return nil
+}

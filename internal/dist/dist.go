@@ -24,50 +24,6 @@ import (
 	"afforest/internal/graph"
 )
 
-// Partitioning maps vertices to nodes by contiguous blocks.
-type Partitioning struct {
-	NumNodes int
-	n        int
-	block    int
-}
-
-// NewPartitioning splits n vertices across numNodes contiguous blocks.
-func NewPartitioning(n, numNodes int) Partitioning {
-	if numNodes < 1 {
-		numNodes = 1
-	}
-	if numNodes > n && n > 0 {
-		numNodes = n
-	}
-	block := (n + numNodes - 1) / numNodes
-	if block < 1 {
-		block = 1
-	}
-	return Partitioning{NumNodes: numNodes, n: n, block: block}
-}
-
-// Owner returns the node owning vertex v.
-func (p Partitioning) Owner(v graph.V) int {
-	o := int(v) / p.block
-	if o >= p.NumNodes {
-		o = p.NumNodes - 1
-	}
-	return o
-}
-
-// Range returns the [lo, hi) vertex range owned by node id.
-func (p Partitioning) Range(id int) (lo, hi int) {
-	lo = id * p.block
-	hi = lo + p.block
-	if id == p.NumNodes-1 || hi > p.n {
-		hi = p.n
-	}
-	if lo > hi {
-		lo = hi
-	}
-	return lo, hi
-}
-
 // Stats quantifies the distributed execution.
 type Stats struct {
 	Nodes     int

@@ -1,0 +1,82 @@
+package testkit_test
+
+import (
+	"fmt"
+	"testing"
+
+	"afforest/internal/cluster"
+	"afforest/internal/concurrent"
+	"afforest/internal/graph"
+	"afforest/internal/testkit"
+)
+
+// canonMin converts an oracle labeling (arbitrary representatives) into
+// the canonical min-id labeling: every vertex labeled by the smallest
+// vertex id in its component. A converged cluster must reproduce this
+// exactly — not just up to bijection — because min-id labels are what
+// the single-node engine's π(x) ≤ x invariant yields, and the cluster
+// promises to be indistinguishable from it.
+func canonMin(oracle []graph.V) []graph.V {
+	minOf := map[graph.V]graph.V{}
+	for v, l := range oracle {
+		if m, ok := minOf[l]; !ok || graph.V(v) < m {
+			minOf[l] = graph.V(v)
+		}
+	}
+	out := make([]graph.V, len(oracle))
+	for v, l := range oracle {
+		out[v] = minOf[l]
+	}
+	return out
+}
+
+// TestClusterDifferentialMatrix runs every adversarial corpus graph
+// through real 1-, 2-, and 4-shard cluster topologies (in-process
+// shards behind loopback TCP, the full wire protocol) under pinned
+// deterministic schedules, and requires the assembled global labeling
+// to equal the canonical min-id labeling bit-for-bit. Even seeds run
+// the serial-interleave scheduler (fully replayable), odd seeds run
+// permuted-parallel — the same convention as testkit.Matrix, so a
+// failing cell's (graph, shards, seed) tuple is a replay handle.
+func TestClusterDifferentialMatrix(t *testing.T) {
+	for _, c := range testkit.Corpus() {
+		g := c.Build()
+		oracle := testkit.Oracle(g)
+		want := canonMin(oracle)
+		for _, shards := range []int{1, 2, 4} {
+			for _, seed := range []uint64{2, 5} {
+				t.Run(fmt.Sprintf("%s/shards=%d/seed=%d", c.Name, shards, seed), func(t *testing.T) {
+					concurrent.SetDeterministic(&concurrent.DetConfig{Seed: seed, Serial: seed%2 == 0})
+					defer concurrent.SetDeterministic(nil)
+
+					l, err := cluster.StartLocal(g.NumVertices(), shards, cluster.Config{})
+					if err != nil {
+						t.Fatalf("StartLocal: %v", err)
+					}
+					defer l.Close()
+					if err := l.Router.LoadGraph(g); err != nil {
+						t.Fatalf("LoadGraph: %v", err)
+					}
+					got, err := l.Router.GlobalLabels()
+					if err != nil {
+						t.Fatalf("GlobalLabels: %v", err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("got %d labels, want %d", len(got), len(want))
+					}
+					for v := range want {
+						if got[v] != want[v] {
+							t.Fatalf("label[%d] = %d, want %d (canonical min of its component)",
+								v, got[v], want[v])
+						}
+					}
+					// Belt and braces: the labeling is also a valid
+					// partition of g by the harness's own checker.
+					if err := testkit.CheckLabeling(g, got, oracle); err != nil {
+						t.Fatalf("CheckLabeling: %v", err)
+					}
+				})
+			}
+		}
+	}
+}
