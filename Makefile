@@ -34,12 +34,14 @@ race-matrix:
 	done
 
 # 10-second smoke of each native fuzz target: the parsers for the two
-# external input formats and the HTTP surface. CI keeps corpora warm;
-# real exploration is `go test -fuzz=<target> -fuzztime=10m <pkg>`.
+# external input formats, the HTTP surface, and the cluster wire-frame
+# decoder. CI keeps corpora warm; real exploration is
+# `go test -fuzz=<target> -fuzztime=10m <pkg>`.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=10s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=10s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzServeHandlers -fuzztime=10s ./internal/serve
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/cluster
 
 # cluster-smoke spins up the real sharded deployment — three ccshard
 # processes plus a ccserve -cluster router on loopback — loads a kron-16

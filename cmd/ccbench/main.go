@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"afforest/internal/bench"
+	"afforest/internal/cluster"
 	"afforest/internal/core"
 	"afforest/internal/gen"
 	"afforest/internal/obs"
@@ -42,6 +43,7 @@ func main() {
 		validate = flag.Bool("validate", true, "validate every labeling against the oracle")
 		tsv      = flag.Bool("tsv", false, "emit TSV instead of aligned tables")
 		trace    = flag.String("trace", "", "run one traced Afforest pass at -scale, write the phase tree (JSONL) here, print the breakdown, and exit")
+		ctrace   = flag.Bool("cluster-trace", false, "boot a traced 3-shard local cluster, load a kron graph at -scale, print the merged cluster timeline, and exit")
 	)
 	flag.Parse()
 
@@ -49,6 +51,14 @@ func main() {
 
 	if *trace != "" {
 		if err := tracedRun(*scale, *seed, *par, *trace); err != nil {
+			fmt.Fprintln(os.Stderr, "ccbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *ctrace {
+		if err := clusterTracedRun(*scale, *seed, *par); err != nil {
 			fmt.Fprintln(os.Stderr, "ccbench:", err)
 			os.Exit(1)
 		}
@@ -295,4 +305,36 @@ func tracedRun(scale int, seed uint64, par int, path string) error {
 	fmt.Printf("kron scale %d: %d vertices, %d edges; %d spans written to %s\n",
 		scale, g.NumVertices(), g.NumEdges(), len(rep.Spans), path)
 	return rep.WriteBreakdown(os.Stdout)
+}
+
+// clusterTracedRun is the cluster analogue of tracedRun: it boots a
+// traced 3-shard in-process cluster, loads the benchmark Kronecker
+// graph through the router (every RPC carrying the trace-context frame
+// extension), pulls the shards' server-side spans, and prints the
+// merged cluster timeline — per-round lanes of frames, pairs, wire
+// bytes, merges, and client/server time per shard.
+func clusterTracedRun(scale int, seed uint64, par int) error {
+	if scale == 0 {
+		scale = 14
+	}
+	g := gen.Kronecker(scale, 16, gen.Graph500, seed)
+	tr := obs.NewWireTrace(0)
+	l, err := cluster.StartLocal(g.NumVertices(), 3, cluster.Config{Trace: tr, Parallelism: par})
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	start := time.Now()
+	if err := l.Router.LoadGraph(g); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	rows, err := l.Router.ClusterTimeline()
+	if err != nil {
+		return err
+	}
+	st := l.Router.Stats()
+	fmt.Printf("kron scale %d across 3 shards: %d exchange rounds, %d KiB on the wire, loaded in %v\n",
+		scale, st.Rounds, (st.BytesSent+st.BytesRecv)/1024, elapsed.Round(time.Millisecond))
+	return obs.WriteClusterTimeline(os.Stdout, rows, false)
 }

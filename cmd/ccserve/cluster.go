@@ -14,6 +14,7 @@ import (
 
 	"afforest/internal/cluster"
 	"afforest/internal/graph"
+	"afforest/internal/obs"
 )
 
 // clusterMain runs ccserve as the router of a sharded cluster: it
@@ -22,7 +23,14 @@ import (
 // router's HTTP surface on addr. Label snapshots live at the shards in
 // cluster mode, so -restore and -save are rejected rather than
 // silently half-working.
-func clusterMain(shardList, addr, in, genName, restore, save string, n, scale, deg int, seed uint64, par int) error {
+//
+// Distributed tracing is always on in cluster mode: every request's
+// shard RPCs carry the trace-context frame extension and the merged
+// cluster timeline is served on /debug/cluster (the recorder is a
+// bounded ring; the per-RPC cost is 13 header bytes and two span
+// records). debugAddr, when non-empty, additionally serves
+// net/http/pprof on a separate listener.
+func clusterMain(shardList, addr, debugAddr, in, genName, restore, save string, n, scale, deg int, seed uint64, par int) error {
 	if restore != "" || save != "" {
 		return errors.New("-restore/-save are single-node flags; cluster state is handed off via shard snapshots")
 	}
@@ -46,9 +54,20 @@ func clusterMain(shardList, addr, in, genName, restore, save string, n, scale, d
 	for i := range addrs {
 		addrs[i] = strings.TrimSpace(addrs[i])
 	}
-	router, err := cluster.NewRouter(addrs, g.NumVertices(), cluster.Config{Parallelism: par})
+	router, err := cluster.NewRouter(addrs, g.NumVertices(), cluster.Config{
+		Parallelism: par,
+		Trace:       obs.NewWireTrace(0),
+	})
 	if err != nil {
 		return err
+	}
+	if debugAddr != "" {
+		go func() {
+			fmt.Printf("pprof on http://%s/debug/pprof/ (cluster timeline on the service address at /debug/cluster)\n", debugAddr)
+			if err := http.ListenAndServe(debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ccserve: debug listener:", err)
+			}
+		}()
 	}
 	start := time.Now()
 	if err := router.LoadGraph(g); err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os/exec"
@@ -189,6 +190,61 @@ func TestClusterSmoke(t *testing.T) {
 		}
 	}
 
+	// The merged cluster timeline on /debug/cluster sees all three
+	// shards and at least one exchange round — the load's RPCs carried
+	// the trace-context extension end to end and the shards' server
+	// spans came back over opFlight.
+	resp, err = http.Get(base + "/debug/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/cluster: status %d: %s", resp.StatusCode, body)
+	}
+	timeline := string(body)
+	if !strings.Contains(timeline, "trace ") {
+		t.Fatalf("/debug/cluster has no traces:\n%s", timeline)
+	}
+	shardsSeen := map[string]bool{}
+	maxRound := 0
+	for _, line := range strings.Split(timeline, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 7 || f[2] != "outbox" {
+			continue
+		}
+		shardsSeen[f[1]] = true
+		var round int
+		fmt.Sscanf(f[0], "%d", &round)
+		if round > maxRound {
+			maxRound = round
+		}
+	}
+	for _, s := range []string{"0", "1", "2"} {
+		if !shardsSeen[s] {
+			t.Fatalf("/debug/cluster timeline missing shard %s outbox lanes:\n%s", s, timeline)
+		}
+	}
+	if maxRound < 1 {
+		t.Fatalf("/debug/cluster timeline shows no exchange round:\n%s", timeline)
+	}
+
+	// A clean load must not have tripped the wire-error-burst rule.
+	var stats struct {
+		Anomalies struct {
+			Recent []struct {
+				Rule string `json:"rule"`
+			} `json:"recent"`
+		} `json:"anomalies"`
+	}
+	get("/stats", &stats)
+	for _, a := range stats.Anomalies.Recent {
+		if a.Rule == "wire_error_burst" {
+			t.Fatalf("wire_error_burst anomaly fired during a clean load: %+v", stats.Anomalies.Recent)
+		}
+	}
+
 	// Leave/join drill with snapshot handoff: shard 1's process exits on
 	// leave (opShutdown), a fresh process takes the slot, and the census
 	// is unchanged.
@@ -243,22 +299,22 @@ func TestClusterSmoke(t *testing.T) {
 
 // TestClusterMainFlagValidation pins the cluster-mode flag contract.
 func TestClusterMainFlagValidation(t *testing.T) {
-	if err := clusterMain("127.0.0.1:1", ":0", "", "", "pi.snap", "", 10, 0, 4, 1, 0); err == nil ||
+	if err := clusterMain("127.0.0.1:1", ":0", "", "", "", "pi.snap", "", 10, 0, 4, 1, 0); err == nil ||
 		!strings.Contains(err.Error(), "single-node") {
 		t.Fatalf("-restore accepted in cluster mode: %v", err)
 	}
-	if err := clusterMain("127.0.0.1:1", ":0", "", "", "", "pi.snap", 10, 0, 4, 1, 0); err == nil ||
+	if err := clusterMain("127.0.0.1:1", ":0", "", "", "", "", "pi.snap", 10, 0, 4, 1, 0); err == nil ||
 		!strings.Contains(err.Error(), "single-node") {
 		t.Fatalf("-save accepted in cluster mode: %v", err)
 	}
-	if err := clusterMain("127.0.0.1:1", ":0", "", "", "", "", 10, 0, 4, 1, 0); err == nil {
+	if err := clusterMain("127.0.0.1:1", ":0", "", "", "", "", "", 10, 0, 4, 1, 0); err == nil {
 		t.Fatal("cluster mode without a graph source accepted")
 	}
-	if err := clusterMain("127.0.0.1:1", ":0", "a.el", "urand", "", "", 10, 0, 4, 1, 0); err == nil {
+	if err := clusterMain("127.0.0.1:1", ":0", "", "a.el", "urand", "", "", 10, 0, 4, 1, 0); err == nil {
 		t.Fatal("-in with -gen accepted in cluster mode")
 	}
 	// A dead shard address must fail the dial, not hang.
-	if err := clusterMain("127.0.0.1:1", ":0", "", "urand", "", "", 100, 0, 2, 1, 0); err == nil {
+	if err := clusterMain("127.0.0.1:1", ":0", "", "", "urand", "", "", 100, 0, 2, 1, 0); err == nil {
 		t.Fatal("unreachable shard accepted")
 	}
 }

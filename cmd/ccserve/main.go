@@ -89,7 +89,7 @@ func main() {
 	}
 
 	if *clusterAddrs != "" {
-		if err := clusterMain(*clusterAddrs, *addr, *in, *genName, *restore, *save, *n, *scale, *deg, *seed, *par); err != nil {
+		if err := clusterMain(*clusterAddrs, *addr, *debug, *in, *genName, *restore, *save, *n, *scale, *deg, *seed, *par); err != nil {
 			fmt.Fprintln(os.Stderr, "ccserve:", err)
 			os.Exit(1)
 		}

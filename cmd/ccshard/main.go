@@ -23,15 +23,21 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // profiling handlers on DefaultServeMux, served only on -debug-addr
 	"os"
 
 	"afforest/internal/cluster"
+	"afforest/internal/concurrent"
+	"afforest/internal/obs"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:0", "listen address for the cluster wire protocol")
-		par  = flag.Int("p", 0, "parallelism for batch edge application (0 = GOMAXPROCS)")
+		addr     = flag.String("addr", "127.0.0.1:0", "listen address for the cluster wire protocol")
+		par      = flag.Int("p", 0, "parallelism for batch edge application (0 = GOMAXPROCS)")
+		debug    = flag.String("debug-addr", "", "serve net/http/pprof and /debug/flight on this address (empty = disabled; keep it loopback-only)")
+		flightSz = flag.Int("flight", 0, "flight-recorder ring capacity per worker (0 = default; recorder is always on when -debug-addr is set)")
 	)
 	flag.Parse()
 
@@ -43,6 +49,22 @@ func main() {
 	fmt.Printf("listening on %s\n", ln.Addr())
 
 	sh := cluster.NewShard(*par)
+	if *debug != "" {
+		// Same contract as ccserve's -debug-addr: the flight recorder is
+		// always on when a debug listener exists, and its dump rides out
+		// both over /debug/flight here and over opFlight to the router's
+		// /debug/cluster view.
+		fl := obs.NewFlightRecorder(concurrent.DefaultPool().Size(), *flightSz)
+		sh.SetFlight(fl)
+		concurrent.DefaultPool().SetFlight(fl)
+		http.Handle("/debug/flight", fl.Handler())
+		go func() {
+			fmt.Printf("pprof on http://%s/debug/pprof/, flight recorder on http://%s/debug/flight\n", *debug, *debug)
+			if err := http.ListenAndServe(*debug, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ccshard: debug listener:", err)
+			}
+		}()
+	}
 	if err := sh.Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "ccshard:", err)
 		os.Exit(1)

@@ -44,21 +44,133 @@ const (
 	opRestore  byte = 9  // lo u32 | hi u32 | edges u64 | labels [hi-lo]u32 → (empty)
 	opPing     byte = 10 // (empty) → (empty)
 	opShutdown byte = 11 // (empty) → (empty), then the shard exits its serve loop
+	opFlight   byte = 12 // (empty) → flightLen u32 | flight JSONL | spansLen u32 | wire-span JSON
 	opError    byte = 99 // message string (response only)
 )
+
+// opName renders an op byte for error messages and trace span labels
+// (the trace flag is masked off so a flagged request names cleanly).
+func opName(op byte) string {
+	switch op &^ traceFlag {
+	case opInit:
+		return "opInit"
+	case opEdges:
+		return "opEdges"
+	case opOutbox:
+		return "opOutbox"
+	case opIngest:
+		return "opIngest"
+	case opAbsorb:
+		return "opAbsorb"
+	case opQuery:
+		return "opQuery"
+	case opLabels:
+		return "opLabels"
+	case opSnapshot:
+		return "opSnapshot"
+	case opRestore:
+		return "opRestore"
+	case opPing:
+		return "opPing"
+	case opShutdown:
+		return "opShutdown"
+	case opFlight:
+		return "opFlight"
+	case opError:
+		return "opError"
+	default:
+		return fmt.Sprintf("op%d", op&^traceFlag)
+	}
+}
+
+// wireName maps a request op to its obs wire-span name; "" for ops that
+// are not traced as spans (init/snapshot/restore/ping/shutdown — rare
+// control-plane calls outside any request's critical path).
+func wireName(op byte) string {
+	switch op &^ traceFlag {
+	case opEdges:
+		return obs.WireEdges
+	case opOutbox:
+		return obs.WireOutbox
+	case opIngest:
+		return obs.WireIngest
+	case opAbsorb:
+		return obs.WireAbsorb
+	case opQuery:
+		return obs.WireQuery
+	case opLabels:
+		return obs.WireLabels
+	case opFlight:
+		return obs.WireFlight
+	default:
+		return ""
+	}
+}
+
+// --- trace-context frame extension ---
+
+// traceFlag is the high bit of the frame's op byte. Unset, the frame is
+// byte-identical to the pre-tracing protocol — the tracing-off fast
+// path costs zero wire bytes. Set, a fixed 13-byte trace-context
+// extension sits between the op byte and the payload:
+//
+//	ext := traceID uint64 | parentSpan uint32 | flags uint8 (little-endian)
+//
+// Only requests carry the extension (the router correlates responses by
+// the request it just wrote — the per-shard connection is serial), but
+// readFrame accepts it on any frame for symmetry.
+const (
+	traceFlag   byte = 0x80
+	traceExtLen      = 13
+)
+
+// traceCtx is a decoded trace-context extension. The zero value means
+// "tracing off" (trace ids start at 1, so 0 is never a live trace).
+type traceCtx struct {
+	trace  uint64
+	parent uint32
+	flags  uint8
+}
+
+func (tc traceCtx) active() bool { return tc.trace != 0 }
 
 // maxFrame bounds a frame's payload so a corrupt or hostile length
 // prefix cannot force an arbitrary allocation (same discipline as the
 // chunked binary readers in internal/graph).
 const maxFrame = 1 << 28
 
-// writeFrame emits one frame. Counting happens at the conn wrapper, not
-// here, so the byte metrics include the length prefix — what the wire
+// writeFrame emits one untraced frame — byte-identical to the
+// pre-tracing protocol. Counting happens at the conn wrapper, not here,
+// so the byte metrics include the length prefix — what the wire
 // actually carries.
 func writeFrame(w io.Writer, op byte, payload []byte) error {
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
-	hdr[4] = op
+	return writeFrameCtx(w, op, traceCtx{}, payload)
+}
+
+// writeFrameCtx emits one frame, appending the trace-context extension
+// when tc is active. The inactive path takes the exact legacy layout —
+// no flag bit, no extension bytes.
+func writeFrameCtx(w io.Writer, op byte, tc traceCtx, payload []byte) error {
+	if !tc.active() {
+		var hdr [5]byte
+		binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+		hdr[4] = op
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if len(payload) > 0 {
+			if _, err := w.Write(payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var hdr [5 + traceExtLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+traceExtLen+len(payload)))
+	hdr[4] = op | traceFlag
+	binary.LittleEndian.PutUint64(hdr[5:13], tc.trace)
+	binary.LittleEndian.PutUint32(hdr[13:17], tc.parent)
+	hdr[17] = tc.flags
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -70,24 +182,41 @@ func writeFrame(w io.Writer, op byte, payload []byte) error {
 	return nil
 }
 
-// readFrame reads one frame, rejecting implausible lengths.
-func readFrame(r io.Reader) (op byte, payload []byte, err error) {
+// readFrame reads one frame, rejecting implausible lengths, and decodes
+// the trace-context extension when the op byte carries the flag. tc is
+// the zero value on untraced frames.
+func readFrame(r io.Reader) (op byte, tc traceCtx, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, traceCtx{}, nil, err
 	}
 	length := binary.BigEndian.Uint32(hdr[:4])
 	if length < 1 || length > maxFrame {
-		return 0, nil, fmt.Errorf("cluster: bad frame length %d", length)
+		return 0, traceCtx{}, nil, fmt.Errorf("cluster: bad frame length %d", length)
 	}
 	op = hdr[4]
-	if length > 1 {
-		payload = make([]byte, length-1)
+	body := int(length) - 1
+	if op&traceFlag != 0 {
+		op &^= traceFlag
+		if body < traceExtLen {
+			return 0, traceCtx{}, nil, fmt.Errorf("cluster: frame length %d too short for trace extension", length)
+		}
+		var ext [traceExtLen]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return 0, traceCtx{}, nil, err
+		}
+		tc.trace = binary.LittleEndian.Uint64(ext[0:8])
+		tc.parent = binary.LittleEndian.Uint32(ext[8:12])
+		tc.flags = ext[12]
+		body -= traceExtLen
+	}
+	if body > 0 {
+		payload = make([]byte, body)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return 0, nil, err
+			return 0, traceCtx{}, nil, err
 		}
 	}
-	return op, payload, nil
+	return op, tc, payload, nil
 }
 
 // --- payload builders/parsers ---
@@ -135,6 +264,22 @@ func (c *cursor) u64() uint64 {
 	v := binary.LittleEndian.Uint64(c.b[c.off:])
 	c.off += 8
 	return v
+}
+
+// block reads a u32 length prefix followed by that many raw bytes
+// (opFlight's dump sections).
+func (c *cursor) block() []byte {
+	n := c.u32()
+	if c.err != nil {
+		return nil
+	}
+	if int(n) > len(c.b)-c.off {
+		c.err = fmt.Errorf("cluster: block length %d exceeds payload", n)
+		return nil
+	}
+	out := c.b[c.off : c.off+int(n)]
+	c.off += int(n)
+	return out
 }
 
 func (c *cursor) done() error {
@@ -192,7 +337,7 @@ func (c *cursor) labels(count int) []graph.V {
 	if c.err != nil {
 		return nil
 	}
-	if count > (len(c.b)-c.off)/4 {
+	if count < 0 || count > (len(c.b)-c.off)/4 {
 		c.err = fmt.Errorf("cluster: label count %d exceeds payload", count)
 		return nil
 	}

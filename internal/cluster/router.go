@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +32,16 @@ type Config struct {
 	// Registry receives the router's wire metrics and backs
 	// GET /metrics. nil means a fresh private registry.
 	Registry *obs.Registry
+	// Trace enables distributed tracing: every request becomes a trace
+	// whose shard RPCs carry the trace-context frame extension, and
+	// GET /debug/cluster serves the merged cluster timeline. nil (the
+	// default) keeps tracing off — the wire stays byte-identical to the
+	// untraced protocol.
+	Trace *obs.WireTrace
+	// Anomaly receives the cluster rule feeds (exchange_round_blowup,
+	// shard_lag, ghost_churn, wire_error_burst). nil means a fresh
+	// detector on Registry with default thresholds.
+	Anomaly *obs.AnomalyDetector
 }
 
 func (c Config) withDefaults() Config {
@@ -42,6 +53,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
+	}
+	if c.Anomaly == nil {
+		c.Anomaly = obs.NewAnomalyDetector(c.Registry, obs.AnomalyConfig{})
 	}
 	return c
 }
@@ -61,25 +75,40 @@ type shardConn struct {
 	br   *bufio.Reader
 }
 
-// rpc issues one request frame and reads its response, unwrapping
-// opError into a Go error.
+// rpc issues one untraced request frame and reads its response,
+// unwrapping opError into a Go error.
 func (sc *shardConn) rpc(op byte, payload []byte) ([]byte, error) {
+	resp, _, _, err := sc.rpcCtx(op, traceCtx{}, payload)
+	return resp, err
+}
+
+// rpcCtx issues one request frame — carrying the trace-context
+// extension when tc is active — and reads its response. sent/recv are
+// this call's wire bytes (frame prefixes and extension included), exact
+// because the mutex serializes the connection. Shards wrap their errors
+// with identity and op ("shard 2: opIngest: ..."), so opError unwraps
+// attributably here.
+func (sc *shardConn) rpcCtx(op byte, tc traceCtx, payload []byte) (resp []byte, sent, recv int64, err error) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	if err := writeFrame(sc.cc, op, payload); err != nil {
-		return nil, err
+	s0, r0 := sc.cc.sent.Load(), sc.cc.recv.Load()
+	defer func() {
+		sent, recv = sc.cc.sent.Load()-s0, sc.cc.recv.Load()-r0
+	}()
+	if err := writeFrameCtx(sc.cc, op, tc, payload); err != nil {
+		return nil, 0, 0, err
 	}
-	respOp, resp, err := readFrame(sc.br)
+	respOp, _, resp, err := readFrame(sc.br)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	if respOp == opError {
-		return nil, fmt.Errorf("cluster: shard error: %s", resp)
+		return nil, 0, 0, fmt.Errorf("cluster: %s", resp)
 	}
 	if respOp != op {
-		return nil, fmt.Errorf("cluster: response op %d for request op %d", respOp, op)
+		return nil, 0, 0, fmt.Errorf("cluster: response op %d for request op %d", respOp, op)
 	}
-	return resp, nil
+	return resp, 0, 0, nil
 }
 
 // slot is one membership slot of the fixed-width partition: either an
@@ -119,11 +148,98 @@ type Router struct {
 	cutEdges atomic.Int64
 	started  time.Time
 
+	wire *obs.WireTrace       // nil = tracing off
+	anom *obs.AnomalyDetector // never nil after withDefaults
+
 	rounds     *obs.Counter
 	exchanges  *obs.Counter
 	exchangeNS *obs.Histogram
 	activeG    *obs.Gauge
-	reqs       struct{ connected, census, edges, stats, metrics, healthz, admin, bad, rejected *obs.Counter }
+	reqs       struct{ connected, census, edges, stats, metrics, healthz, admin, debug, bad, rejected *obs.Counter }
+}
+
+// --- trace plumbing ---
+
+// rctx carries one request's trace identity down the call stack; the
+// zero value means "untraced" and every helper below short-circuits on
+// it.
+type rctx struct {
+	trace  uint64
+	parent uint32
+}
+
+// newRoot opens a root span for one request (HTTP or direct API) and
+// returns the context child spans hang from. Untraced routers return
+// the zero rctx.
+func (r *Router) newRoot(name string) rctx {
+	if r.wire == nil {
+		return rctx{}
+	}
+	trace := r.wire.NewTrace()
+	id := r.wire.Begin(trace, 0, false, name, obs.RouterShard, 0)
+	return rctx{trace: trace, parent: id}
+}
+
+// endRoot closes a root span opened by newRoot.
+func (r *Router) endRoot(rc rctx, err error) {
+	if rc.trace == 0 {
+		return
+	}
+	var end obs.WireEnd
+	if err != nil {
+		end.Err = err.Error()
+	}
+	r.wire.End(rc.parent, end)
+}
+
+// child opens a router-side grouping span (exchange, round) under rc.
+func (r *Router) child(rc rctx, name string, round int) rctx {
+	if rc.trace == 0 {
+		return rctx{}
+	}
+	id := r.wire.Begin(rc.trace, rc.parent, false, name, obs.RouterShard, round)
+	return rctx{trace: rc.trace, parent: id}
+}
+
+// rpcSpan is one in-flight traced client RPC with its measured wire
+// bytes; the zero value is the untraced fast path.
+type rpcSpan struct {
+	id         uint32
+	tc         traceCtx
+	sent, recv int64
+}
+
+// rpcTo issues one RPC to a slot as a child span of rc (plain rpc when
+// untraced), feeding the wire-error-burst rule on failure. The returned
+// span stays open so the caller can attach parsed pair/merge counts via
+// endRPC; error paths are closed here.
+func (r *Router) rpcTo(rc rctx, sl *slot, shard, round int, op byte, payload []byte) ([]byte, rpcSpan, error) {
+	var sp rpcSpan
+	if rc.trace != 0 && wireName(op) != "" {
+		sp.id = r.wire.Begin(rc.trace, rc.parent, false, wireName(op), shard, round)
+		sp.tc = traceCtx{trace: rc.trace, parent: sp.id}
+	}
+	resp, sent, recv, err := sl.conn.rpcCtx(op, sp.tc, payload)
+	sp.sent, sp.recv = sent, recv
+	if err != nil {
+		r.anom.ObserveWireError(err)
+		r.endRPC(sp, 0, 0, err)
+		return nil, rpcSpan{}, err
+	}
+	return resp, sp, nil
+}
+
+// endRPC closes a traced RPC span with the counts the caller parsed out
+// of the response. No-op for the untraced zero span.
+func (r *Router) endRPC(sp rpcSpan, pairs, merged int64, err error) {
+	if sp.id == 0 {
+		return
+	}
+	end := obs.WireEnd{ReqBytes: sp.sent, RespBytes: sp.recv, Pairs: pairs, Merged: merged}
+	if err != nil {
+		end.Err = err.Error()
+	}
+	r.wire.End(sp.id, end)
 }
 
 // NewRouter dials the shard addresses, initializes each member with its
@@ -143,6 +259,20 @@ func NewRouter(addrs []string, n int, cfg Config) (*Router, error) {
 		numShards: part.NumNodes,
 		mux:       http.NewServeMux(),
 		started:   time.Now(),
+		wire:      cfg.Trace,
+		anom:      cfg.Anomaly,
+	}
+	if r.wire != nil {
+		// Anomaly firings snapshot the canonical merged cluster timeline.
+		// The builder reads only the wire recorder (its own lock), so a
+		// rule firing inside the exchange loop cannot deadlock on router
+		// state.
+		wire := r.wire
+		r.anom.SetSnapshotFunc(func() []byte {
+			var buf bytes.Buffer
+			obs.WriteClusterTimeline(&buf, obs.BuildClusterTimeline(wire.Spans()), true)
+			return buf.Bytes()
+		})
 	}
 	reg := cfg.Registry
 	r.rounds = reg.Counter("afforest_cluster_exchange_rounds_total",
@@ -164,6 +294,7 @@ func NewRouter(addrs []string, n int, cfg Config) (*Router, error) {
 	r.reqs.metrics = h("metrics")
 	r.reqs.healthz = h("healthz")
 	r.reqs.admin = h("cluster")
+	r.reqs.debug = h("debug_cluster")
 	r.reqs.bad = reg.Counter("afforest_http_errors_total", "Requests answered with a 4xx status.")
 	r.reqs.rejected = reg.Counter("afforest_writes_rejected_total",
 		"Edge submissions refused while the cluster was degraded.")
@@ -196,6 +327,7 @@ func NewRouter(addrs []string, n int, cfg Config) (*Router, error) {
 	r.mux.HandleFunc("GET /cluster", r.handleTopology)
 	r.mux.HandleFunc("POST /cluster/leave", r.handleLeave)
 	r.mux.HandleFunc("POST /cluster/join", r.handleJoin)
+	r.mux.HandleFunc("GET /debug/cluster", r.handleDebugCluster)
 	metricsHandler := cfg.Registry.Handler()
 	r.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
 		r.reqs.metrics.Inc()
@@ -298,20 +430,23 @@ func (r *Router) forEachActive(fn func(id int, sl *slot) error) error {
 }
 
 // sendEdges streams edges to one shard in EdgeBatch-sized frames and
-// returns the shard's merge count.
-func (r *Router) sendEdges(sl *slot, edges []pair) (int64, error) {
+// returns the shard's merge count. Each frame is its own traced span
+// (the batch boundary is what the wire actually carries).
+func (r *Router) sendEdges(rc rctx, sl *slot, id int, edges []pair) (int64, error) {
 	var merged int64
 	for len(edges) > 0 {
 		k := min(len(edges), r.cfg.EdgeBatch)
-		resp, err := sl.conn.rpc(opEdges, encodePairs(nil, edges[:k]))
+		resp, sp, err := r.rpcTo(rc, sl, id, 0, opEdges, encodePairs(nil, edges[:k]))
 		if err != nil {
 			return merged, err
 		}
 		c := &cursor{b: resp}
 		m := c.u32()
 		if err := c.done(); err != nil {
+			r.endRPC(sp, int64(k), 0, err)
 			return merged, err
 		}
+		r.endRPC(sp, int64(k), int64(m), nil)
 		merged += int64(m)
 		edges = edges[k:]
 	}
@@ -343,16 +478,16 @@ func (r *Router) routeEdges(edges []graph.Edge) (primary, ghost [][]pair) {
 // applyEdgesLocked routes and applies a batch, then drives the exchange
 // to a fixed point. Caller holds the write lock and has checked
 // degraded. Returns the merge count from the primary copies.
-func (r *Router) applyEdgesLocked(edges []graph.Edge) (int64, error) {
+func (r *Router) applyEdgesLocked(rc rctx, edges []graph.Edge) (int64, error) {
 	primary, ghost := r.routeEdges(edges)
 	var merged atomic.Int64
 	err := r.forEachActive(func(id int, sl *slot) error {
-		m, err := r.sendEdges(sl, primary[id])
+		m, err := r.sendEdges(rc, sl, id, primary[id])
 		if err != nil {
 			return err
 		}
 		merged.Add(m)
-		if _, err := r.sendEdges(sl, ghost[id]); err != nil {
+		if _, err := r.sendEdges(rc, sl, id, ghost[id]); err != nil {
 			return err
 		}
 		return nil
@@ -360,7 +495,7 @@ func (r *Router) applyEdgesLocked(edges []graph.Edge) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := r.exchangeLocked(); err != nil {
+	if err := r.exchangeLocked(rc); err != nil {
 		return 0, err
 	}
 	r.edges.Add(int64(len(edges)))
@@ -382,7 +517,10 @@ func (r *Router) AddEdges(edges []graph.Edge) (int64, error) {
 	if r.degradedLocked() {
 		return 0, ErrDegraded
 	}
-	return r.applyEdgesLocked(edges)
+	rc := r.newRoot("edges_request")
+	merged, err := r.applyEdgesLocked(rc, edges)
+	r.endRoot(rc, err)
+	return merged, err
 }
 
 // LoadGraph streams every edge of g to its owners and reconciles. This
@@ -397,7 +535,9 @@ func (r *Router) LoadGraph(g *graph.CSR) error {
 	if r.degradedLocked() {
 		return ErrDegraded
 	}
-	_, err := r.applyEdgesLocked(g.Edges())
+	rc := r.newRoot("load_graph")
+	_, err := r.applyEdgesLocked(rc, g.Edges())
+	r.endRoot(rc, err)
 	return err
 }
 
@@ -407,16 +547,25 @@ func (r *Router) LoadGraph(g *graph.CSR) error {
 // labels are routed back and absorbed. One round's RPCs fan out
 // concurrently across shards with a barrier between phases — the
 // superstep structure of dist.ConnectedComponents on a real wire.
+// When rc is traced, the exchange gets a grouping span with one child
+// span per round; every shard RPC hangs off its round. Each round also
+// feeds the cluster anomaly rules: per-shard lag, absorb churn, and —
+// on completion — the round-count blowup rule.
 // Caller holds the write lock with all slots active.
-func (r *Router) exchangeLocked() error {
+func (r *Router) exchangeLocked(rc rctx) error {
 	start := time.Now()
+	exc := r.child(rc, obs.WireExchange, 0)
+	round := 0
 	defer func() {
 		r.exchanges.Inc()
 		r.exchangeNS.ObserveDuration(time.Since(start))
+		r.endRoot(exc, nil)
+		r.anom.ObserveExchange(round)
 	}()
 	type origin struct{ src, idx int }
 	for {
-		roundStart := time.Now()
+		round++
+		rnd := r.child(exc, obs.WireRound, round)
 		rpcNS := make([]int64, r.numShards)
 		timed := func(id int, fn func() error) error {
 			t0 := time.Now()
@@ -429,20 +578,23 @@ func (r *Router) exchangeLocked() error {
 		outboxes := make([][]pair, r.numShards)
 		err := r.forEachActive(func(id int, sl *slot) error {
 			return timed(id, func() error {
-				resp, err := sl.conn.rpc(opOutbox, nil)
+				resp, sp, err := r.rpcTo(rnd, sl, id, round, opOutbox, nil)
 				if err != nil {
 					return err
 				}
 				c := &cursor{b: resp}
 				outboxes[id] = c.pairs()
 				if err := c.done(); err != nil {
+					r.endRPC(sp, 0, 0, err)
 					return err
 				}
+				r.endRPC(sp, int64(len(outboxes[id])), 0, nil)
 				sl.msgs.Add(int64(len(outboxes[id])))
 				return nil
 			})
 		})
 		if err != nil {
+			r.endRoot(rnd, err)
 			return err
 		}
 
@@ -465,7 +617,7 @@ func (r *Router) exchangeLocked() error {
 				return nil
 			}
 			return timed(id, func() error {
-				resp, err := sl.conn.rpc(opIngest, encodePairs(nil, ingest[id]))
+				resp, sp, err := r.rpcTo(rnd, sl, id, round, opIngest, encodePairs(nil, ingest[id]))
 				if err != nil {
 					return err
 				}
@@ -473,18 +625,23 @@ func (r *Router) exchangeLocked() error {
 				merged := c.u32()
 				replies[id] = c.pairs()
 				if err := c.done(); err != nil {
+					r.endRPC(sp, 0, 0, err)
 					return err
 				}
 				if len(replies[id]) != len(ingest[id]) {
-					return fmt.Errorf("cluster: shard %d replied %d labels for %d opinions",
+					err := fmt.Errorf("cluster: shard %d replied %d labels for %d opinions",
 						id, len(replies[id]), len(ingest[id]))
+					r.endRPC(sp, 0, 0, err)
+					return err
 				}
+				r.endRPC(sp, int64(len(ingest[id])+len(replies[id])), int64(merged), nil)
 				totalMerged.Add(int64(merged))
 				sl.msgs.Add(int64(len(ingest[id])) + int64(len(replies[id])))
 				return nil
 			})
 		})
 		if err != nil {
+			r.endRoot(rnd, err)
 			return err
 		}
 
@@ -497,27 +654,34 @@ func (r *Router) exchangeLocked() error {
 			}
 		}
 
-		// Superstep phase 3: askers absorb canonical labels.
+		// Superstep phase 3: askers absorb canonical labels. Absorb
+		// merges are tracked apart from ingest merges — they are the
+		// ghost-churn signal.
+		var absorbMerged atomic.Int64
 		err = r.forEachActive(func(id int, sl *slot) error {
 			if len(absorbs[id]) == 0 {
 				return nil
 			}
 			return timed(id, func() error {
-				resp, err := sl.conn.rpc(opAbsorb, encodePairs(nil, absorbs[id]))
+				resp, sp, err := r.rpcTo(rnd, sl, id, round, opAbsorb, encodePairs(nil, absorbs[id]))
 				if err != nil {
 					return err
 				}
 				c := &cursor{b: resp}
 				merged := c.u32()
 				if err := c.done(); err != nil {
+					r.endRPC(sp, 0, 0, err)
 					return err
 				}
+				r.endRPC(sp, int64(len(absorbs[id])), int64(merged), nil)
 				totalMerged.Add(int64(merged))
+				absorbMerged.Add(int64(merged))
 				sl.msgs.Add(int64(len(absorbs[id])))
 				return nil
 			})
 		})
 		if err != nil {
+			r.endRoot(rnd, err)
 			return err
 		}
 
@@ -532,7 +696,9 @@ func (r *Router) exchangeLocked() error {
 			}
 		}
 		r.rounds.Inc()
-		_ = roundStart
+		r.anom.ObserveRoundLag(round, rpcNS)
+		r.anom.ObserveExchangeRound(round, absorbMerged.Load())
+		r.endRoot(rnd, nil)
 		if totalMerged.Load() == 0 {
 			return nil
 		}
@@ -542,20 +708,23 @@ func (r *Router) exchangeLocked() error {
 // ownerLabel returns the owner's current label for v, reading from the
 // retained snapshot when the owner's slot is vacant. Caller holds at
 // least the read lock.
-func (r *Router) ownerLabel(v graph.V) (graph.V, error) {
-	sl := r.slots[r.part.Owner(v)]
+func (r *Router) ownerLabel(rc rctx, v graph.V) (graph.V, error) {
+	id := r.part.Owner(v)
+	sl := r.slots[id]
 	if sl.conn == nil {
 		return sl.snap[int(v)-sl.lo], nil
 	}
-	resp, err := sl.conn.rpc(opQuery, putU32(nil, uint32(v)))
+	resp, sp, err := r.rpcTo(rc, sl, id, 0, opQuery, putU32(nil, uint32(v)))
 	if err != nil {
 		return 0, err
 	}
 	c := &cursor{b: resp}
 	l := graph.V(c.u32())
 	if err := c.done(); err != nil {
+		r.endRPC(sp, 0, 0, err)
 		return 0, err
 	}
+	r.endRPC(sp, 1, 0, nil)
 	return l, nil
 }
 
@@ -570,12 +739,15 @@ func (r *Router) Resolve(v graph.V) (graph.V, error) {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.resolveLocked(v)
+	rc := r.newRoot("resolve_request")
+	l, err := r.resolveLocked(rc, v)
+	r.endRoot(rc, err)
+	return l, err
 }
 
-func (r *Router) resolveLocked(v graph.V) (graph.V, error) {
+func (r *Router) resolveLocked(rc rctx, v graph.V) (graph.V, error) {
 	for {
-		l, err := r.ownerLabel(v)
+		l, err := r.ownerLabel(rc, v)
 		if err != nil {
 			return 0, err
 		}
@@ -593,11 +765,18 @@ func (r *Router) Connected(u, v graph.V) (bool, error) {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	lu, err := r.resolveLocked(u)
+	rc := r.newRoot("connected_request")
+	conn, err := r.connectedLocked(rc, u, v)
+	r.endRoot(rc, err)
+	return conn, err
+}
+
+func (r *Router) connectedLocked(rc rctx, u, v graph.V) (bool, error) {
+	lu, err := r.resolveLocked(rc, u)
 	if err != nil {
 		return false, err
 	}
-	lv, err := r.resolveLocked(v)
+	lv, err := r.resolveLocked(rc, v)
 	if err != nil {
 		return false, err
 	}
@@ -611,10 +790,13 @@ func (r *Router) Connected(u, v graph.V) (bool, error) {
 func (r *Router) GlobalLabels() ([]graph.V, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.globalLabelsLocked()
+	rc := r.newRoot("census_request")
+	labels, err := r.globalLabelsLocked(rc)
+	r.endRoot(rc, err)
+	return labels, err
 }
 
-func (r *Router) globalLabelsLocked() ([]graph.V, error) {
+func (r *Router) globalLabelsLocked(rc rctx) ([]graph.V, error) {
 	labels := make([]graph.V, r.n)
 	err := func() error {
 		errs := make([]error, len(r.slots))
@@ -628,7 +810,7 @@ func (r *Router) globalLabelsLocked() ([]graph.V, error) {
 					return
 				}
 				payload := putU32(putU32(nil, uint32(sl.lo)), uint32(sl.hi))
-				resp, err := sl.conn.rpc(opLabels, payload)
+				resp, sp, err := r.rpcTo(rc, sl, id, 0, opLabels, payload)
 				if err != nil {
 					errs[id] = err
 					return
@@ -636,9 +818,11 @@ func (r *Router) globalLabelsLocked() ([]graph.V, error) {
 				c := &cursor{b: resp}
 				got := c.labels(sl.hi - sl.lo)
 				if err := c.done(); err != nil {
+					r.endRPC(sp, 0, 0, err)
 					errs[id] = err
 					return
 				}
+				r.endRPC(sp, int64(len(got)), 0, nil)
 				copy(labels[sl.lo:sl.hi], got)
 			}(id, sl)
 		}
@@ -763,7 +947,10 @@ func (r *Router) Join(id int, addr string) error {
 	sl.snap = nil
 	sl.snapEdges = 0
 	r.activeG.Set(r.activeCount())
-	return r.exchangeLocked()
+	rc := r.newRoot("join_request")
+	err = r.exchangeLocked(rc)
+	r.endRoot(rc, err)
+	return err
 }
 
 func (r *Router) activeCount() float64 {
@@ -959,6 +1146,10 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 		"vertices":       r.n,
 		"edges_accepted": r.edges.Load(),
 		"cluster":        st,
+		"anomalies": map[string]any{
+			"count":  r.anom.Count(),
+			"recent": r.anom.Recent(),
+		},
 	})
 }
 
@@ -995,6 +1186,129 @@ func (r *Router) handleTopology(w http.ResponseWriter, req *http.Request) {
 	degraded := r.degradedLocked()
 	r.mu.RUnlock()
 	writeJSON(w, map[string]any{"shards": slots, "degraded": degraded})
+}
+
+// shardDump is one member's opFlight payload: its flight-recorder JSONL
+// dump and the JSON array of retained Afforest phase spans. The wire
+// spans that also ride opFlight are folded straight into the router's
+// merged recorder rather than surfaced here.
+type shardDump struct {
+	ID     int
+	Flight []byte
+	Phases []byte
+}
+
+// pullFlight fetches every active shard's opFlight dump and merges the
+// shard-side wire spans into the router's recorder — after a pull, the
+// recorder holds the whole cluster's spans and BuildClusterTimeline can
+// attribute server-side time per shard per round. The pull itself is
+// deliberately untraced: its payload sizes depend on wall-clock span
+// content, which would poison the canonical (replay-deterministic)
+// timeline with nondeterministic byte counts.
+func (r *Router) pullFlight() ([]shardDump, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	dumps := make([]shardDump, 0, len(r.slots))
+	var mu sync.Mutex
+	err := r.forEachActive(func(id int, sl *slot) error {
+		resp, _, err := r.rpcTo(rctx{}, sl, id, 0, opFlight, nil)
+		if err != nil {
+			return err
+		}
+		c := &cursor{b: resp}
+		flight := c.block()
+		phases := c.block()
+		spansRaw := c.block()
+		if err := c.done(); err != nil {
+			return err
+		}
+		var spans []obs.WireSpan
+		if err := json.Unmarshal(spansRaw, &spans); err != nil {
+			return fmt.Errorf("cluster: shard %d flight spans: %w", id, err)
+		}
+		if r.wire != nil {
+			for _, s := range spans {
+				r.wire.Add(s)
+			}
+		}
+		mu.Lock()
+		dumps = append(dumps, shardDump{
+			ID:     id,
+			Flight: append([]byte(nil), flight...),
+			Phases: append([]byte(nil), phases...),
+		})
+		mu.Unlock()
+		return nil
+	})
+	sort.Slice(dumps, func(i, j int) bool { return dumps[i].ID < dumps[j].ID })
+	return dumps, err
+}
+
+// ClusterTimeline pulls every shard's spans and returns the merged
+// lanes — the programmatic face of /debug/cluster (ccbench and the
+// tests use it directly).
+func (r *Router) ClusterTimeline() ([]obs.ClusterLaneRow, error) {
+	if r.wire == nil {
+		return nil, errors.New("cluster: tracing disabled (construct the router with Config.Trace)")
+	}
+	if _, err := r.pullFlight(); err != nil {
+		return nil, err
+	}
+	return obs.BuildClusterTimeline(r.wire.Spans()), nil
+}
+
+// Anomalies returns the detector receiving this router's cluster rule
+// feeds.
+func (r *Router) Anomalies() *obs.AnomalyDetector { return r.anom }
+
+// handleDebugCluster serves the merged cluster observability surface:
+//
+//	GET /debug/cluster                     merged timeline (?canonical=1 for the replay-stable mode)
+//	GET /debug/cluster?view=spans          merged wire spans as JSONL
+//	GET /debug/cluster?view=flight&shard=N one member's flight-recorder dump
+//	GET /debug/cluster?view=phases&shard=N one member's Afforest phase spans (JSON)
+func (r *Router) handleDebugCluster(w http.ResponseWriter, req *http.Request) {
+	r.reqs.debug.Inc()
+	if r.wire == nil {
+		r.httpError(w, http.StatusNotFound, "tracing disabled: construct the router with Config.Trace")
+		return
+	}
+	dumps, err := r.pullFlight()
+	if err != nil {
+		r.httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	canonical := req.URL.Query().Get("canonical") == "1"
+	switch view := req.URL.Query().Get("view"); view {
+	case "", "timeline":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		obs.WriteClusterTimeline(w, obs.BuildClusterTimeline(r.wire.Spans()), canonical)
+	case "spans":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		r.wire.WriteJSONL(w, canonical)
+	case "flight", "phases":
+		id, err := r.shardParam(req)
+		if err != nil {
+			r.httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		for _, d := range dumps {
+			if d.ID != id {
+				continue
+			}
+			if view == "flight" {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.Write(d.Flight)
+			} else {
+				w.Header().Set("Content-Type", "application/json")
+				w.Write(d.Phases)
+			}
+			return
+		}
+		r.httpError(w, http.StatusNotFound, fmt.Sprintf("shard %d inactive or unknown", id))
+	default:
+		r.httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown view %q", view))
+	}
 }
 
 func (r *Router) shardParam(req *http.Request) (int, error) {

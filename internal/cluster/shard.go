@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -10,6 +11,7 @@ import (
 	"afforest/internal/core"
 	"afforest/internal/dist"
 	"afforest/internal/graph"
+	"afforest/internal/obs"
 )
 
 // Shard is one cluster member: it owns a contiguous vertex range of the
@@ -39,13 +41,52 @@ type Shard struct {
 	refs        map[graph.V]struct{}
 	edges       int64 // arcs applied here (includes ghost copies)
 	parallelism int
+
+	// Observability. wire records server-side spans for requests that
+	// arrive with a trace-context extension (untraced requests record
+	// nothing); phases retains the Afforest phase trees of traced edge
+	// batches; flight is optional (SetFlight) and feeds the per-worker
+	// flight recorder shared with /debug/flight. All three ride out over
+	// opFlight.
+	wire   *obs.WireTrace
+	phases *obs.RingSink
+	flight *obs.FlightRecorder
 }
 
 // NewShard returns an uninitialized shard; the router's opInit
 // determines its identity and vertex space. parallelism bounds the
 // workers used for batch edge application (0 = GOMAXPROCS).
 func NewShard(parallelism int) *Shard {
-	return &Shard{parallelism: parallelism}
+	return &Shard{
+		id:          -1, // unknown until opInit
+		wire:        obs.NewWireTrace(0),
+		phases:      obs.NewRingSink(256),
+		parallelism: parallelism,
+	}
+}
+
+// SetFlight attaches a flight recorder capturing the per-worker event
+// rings of every edge batch the shard applies (nil detaches). Set it
+// before Serve; cmd/ccshard wires it when -debug-addr is given.
+func (sh *Shard) SetFlight(f *obs.FlightRecorder) {
+	sh.mu.Lock()
+	sh.flight = f
+	sh.mu.Unlock()
+}
+
+// Flight returns the attached flight recorder (nil when unset).
+func (sh *Shard) Flight() *obs.FlightRecorder {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.flight
+}
+
+// shardID returns the shard's identity (-1 before opInit) for error
+// attribution and span labeling.
+func (sh *Shard) shardID() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.id
 }
 
 var errShutdown = errors.New("cluster: shard shutdown requested")
@@ -81,17 +122,24 @@ func (sh *Shard) Serve(ln net.Listener) error {
 }
 
 // serveConn answers frames on one connection until EOF or shutdown.
+// Shard-side errors go back wrapped with the shard's identity and the
+// op that failed ("shard 2: opIngest: ...") so router-side logs and
+// HTTP errors are attributable without guessing.
 func (sh *Shard) serveConn(conn net.Conn) error {
 	for {
-		op, payload, err := readFrame(conn)
+		op, tc, payload, err := readFrame(conn)
 		if err != nil {
 			return err
 		}
-		respOp, resp, err := sh.handle(op, payload)
+		sp := sh.beginSrv(tc, op, len(payload))
+		respOp, resp, err := sh.handle(op, payload, sp)
 		if err != nil {
+			err = fmt.Errorf("shard %d: %s: %w", sh.shardID(), opName(op), err)
 			respOp, resp = errorFrame(err)
 		}
-		if werr := writeFrame(conn, respOp, resp); werr != nil {
+		werr := writeFrame(conn, respOp, resp)
+		sp.finish(len(payload), len(resp), err)
+		if werr != nil {
 			return werr
 		}
 		if op == opShutdown && err == nil {
@@ -100,9 +148,90 @@ func (sh *Shard) serveConn(conn net.Conn) error {
 	}
 }
 
+// srvSpan tracks one traced request's server-side spans: an op span
+// parented (remotely) to the router's client span, with decode → work →
+// encode stage children. The nil receiver is the untraced fast path —
+// every method is a no-op, so handle() needs no branching.
+type srvSpan struct {
+	w     *obs.WireTrace
+	trace uint64
+	shard int
+	opID  uint32
+	cur   uint32 // open stage span
+}
+
+// beginSrv opens the server span chain when the request carries an
+// active trace context and the op is a traced one.
+func (sh *Shard) beginSrv(tc traceCtx, op byte, reqBytes int) *srvSpan {
+	if !tc.active() {
+		return nil
+	}
+	name := wireName(op)
+	if name == "" {
+		return nil
+	}
+	s := &srvSpan{w: sh.wire, trace: tc.trace, shard: sh.shardID()}
+	s.opID = s.w.Begin(tc.trace, tc.parent, true, name, s.shard, 0)
+	s.cur = s.w.Begin(tc.trace, s.opID, false, obs.WireDecode, s.shard, 0)
+	_ = reqBytes // recorded at finish, alongside the response size
+	return s
+}
+
+// decoded closes the decode stage and opens the work stage; handle()
+// calls it once the cursor has fully parsed the payload.
+func (s *srvSpan) decoded() {
+	if s == nil {
+		return
+	}
+	s.w.End(s.cur, obs.WireEnd{})
+	s.cur = s.w.Begin(s.trace, s.opID, false, obs.WireWork, s.shard, 0)
+}
+
+// worked closes the work stage with its merge count and opens the
+// encode stage (which finish() closes after the response is written).
+func (s *srvSpan) worked(merged int64) {
+	if s == nil {
+		return
+	}
+	s.w.End(s.cur, obs.WireEnd{Merged: merged})
+	s.cur = s.w.Begin(s.trace, s.opID, false, obs.WireEncode, s.shard, 0)
+}
+
+// finish closes whatever stage is open plus the op span itself.
+func (s *srvSpan) finish(reqBytes, respBytes int, err error) {
+	if s == nil {
+		return
+	}
+	s.w.End(s.cur, obs.WireEnd{})
+	end := obs.WireEnd{ReqBytes: int64(reqBytes), RespBytes: int64(respBytes)}
+	if err != nil {
+		end.Err = err.Error()
+	}
+	s.w.End(s.opID, end)
+}
+
+// observer returns the Observer traced core work should run under: the
+// request's phase tracer (emitting into the shard's retained phase
+// ring) fanned out with the flight recorder. Untraced requests get the
+// flight recorder alone (or nil — the zero-cost path core expects).
+func (sh *Shard) observer(s *srvSpan) obs.Observer {
+	sh.mu.Lock()
+	fl := sh.flight
+	sh.mu.Unlock()
+	var parts []obs.Observer
+	if s != nil {
+		parts = append(parts, obs.NewTracer(sh.phases))
+	}
+	if fl != nil {
+		parts = append(parts, fl)
+	}
+	return obs.Multi(parts...)
+}
+
 // handle dispatches one RPC. It returns the response op and payload, or
-// an error to be sent as opError.
-func (sh *Shard) handle(op byte, payload []byte) (byte, []byte, error) {
+// an error to be sent as opError. sp (nil when untraced) marks the
+// decode → work → encode stage boundaries as each case crosses them.
+func (sh *Shard) handle(op byte, payload []byte, sp *srvSpan) (byte, []byte, error) {
 	c := &cursor{b: payload}
 	switch op {
 	case opPing, opShutdown:
@@ -122,20 +251,24 @@ func (sh *Shard) handle(op byte, payload []byte) (byte, []byte, error) {
 		if err := c.done(); err != nil {
 			return 0, nil, err
 		}
-		merged, err := sh.applyEdges(pairs)
+		sp.decoded()
+		merged, err := sh.applyEdges(pairs, sh.observer(sp))
 		if err != nil {
 			return 0, nil, err
 		}
+		sp.worked(merged)
 		return op, putU32(nil, uint32(merged)), nil
 
 	case opOutbox:
 		if err := c.done(); err != nil {
 			return 0, nil, err
 		}
+		sp.decoded()
 		out, err := sh.outbox()
 		if err != nil {
 			return 0, nil, err
 		}
+		sp.worked(0)
 		return op, encodePairs(nil, out), nil
 
 	case opIngest:
@@ -143,10 +276,12 @@ func (sh *Shard) handle(op byte, payload []byte) (byte, []byte, error) {
 		if err := c.done(); err != nil {
 			return 0, nil, err
 		}
+		sp.decoded()
 		merged, replies, err := sh.ingest(pairs)
 		if err != nil {
 			return 0, nil, err
 		}
+		sp.worked(merged)
 		return op, encodePairs(putU32(nil, uint32(merged)), replies), nil
 
 	case opAbsorb:
@@ -154,10 +289,12 @@ func (sh *Shard) handle(op byte, payload []byte) (byte, []byte, error) {
 		if err := c.done(); err != nil {
 			return 0, nil, err
 		}
+		sp.decoded()
 		merged, err := sh.absorb(pairs)
 		if err != nil {
 			return 0, nil, err
 		}
+		sp.worked(merged)
 		return op, putU32(nil, uint32(merged)), nil
 
 	case opQuery:
@@ -165,10 +302,12 @@ func (sh *Shard) handle(op byte, payload []byte) (byte, []byte, error) {
 		if err := c.done(); err != nil {
 			return 0, nil, err
 		}
+		sp.decoded()
 		label, err := sh.query(v)
 		if err != nil {
 			return 0, nil, err
 		}
+		sp.worked(0)
 		return op, putU32(nil, uint32(label)), nil
 
 	case opLabels:
@@ -176,11 +315,25 @@ func (sh *Shard) handle(op byte, payload []byte) (byte, []byte, error) {
 		if err := c.done(); err != nil {
 			return 0, nil, err
 		}
+		sp.decoded()
 		labels, err := sh.labelRange(lo, hi)
 		if err != nil {
 			return 0, nil, err
 		}
+		sp.worked(0)
 		return op, encodeLabels(nil, labels), nil
+
+	case opFlight:
+		if err := c.done(); err != nil {
+			return 0, nil, err
+		}
+		sp.decoded()
+		b, err := sh.flightDump()
+		if err != nil {
+			return 0, nil, err
+		}
+		sp.worked(0)
+		return op, b, nil
 
 	case opSnapshot:
 		if err := c.done(); err != nil {
@@ -255,7 +408,7 @@ func (sh *Shard) noteRemote(v graph.V) {
 // (and nothing else here — labels produced by the links are existing π
 // entries) become refs. The link pass itself runs in parallel on the
 // worker pool: Theorem 1 makes the interleaving irrelevant.
-func (sh *Shard) applyEdges(pairs []pair) (int64, error) {
+func (sh *Shard) applyEdges(pairs []pair, o obs.Observer) (int64, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if err := sh.requireInit(); err != nil {
@@ -270,9 +423,40 @@ func (sh *Shard) applyEdges(pairs []pair) (int64, error) {
 		sh.noteRemote(p.Label)
 		edges[i] = graph.Edge{U: p.V, V: p.Label}
 	}
-	merged := sh.inc.AddEdges(edges, sh.parallelism, nil)
+	merged := sh.inc.AddEdges(edges, sh.parallelism, o)
 	sh.edges += int64(len(edges))
 	return merged, nil
+}
+
+// flightDump serializes the shard's observability state for opFlight as
+// three length-prefixed blocks: the flight recorder's JSONL dump (empty
+// when no recorder is attached), the retained Afforest phase spans of
+// traced edge batches (JSON array), and the drained wire spans (JSON
+// array — draining means each span reaches the router's merged view
+// exactly once).
+func (sh *Shard) flightDump() ([]byte, error) {
+	sh.mu.Lock()
+	fl := sh.flight
+	sh.mu.Unlock()
+	var flight []byte
+	if fl != nil {
+		flight = fl.Snapshot(obs.DumpOptions{})
+	}
+	phases, err := json.Marshal(sh.phases.Spans())
+	if err != nil {
+		return nil, err
+	}
+	spans, err := json.Marshal(sh.wire.Drain())
+	if err != nil {
+		return nil, err
+	}
+	b := putU32(nil, uint32(len(flight)))
+	b = append(b, flight...)
+	b = putU32(b, uint32(len(phases)))
+	b = append(b, phases...)
+	b = putU32(b, uint32(len(spans)))
+	b = append(b, spans...)
+	return b, nil
 }
 
 // outbox returns the shard's current opinion (ref, find(ref)) for every

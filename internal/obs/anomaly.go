@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 )
@@ -25,6 +26,12 @@ const (
 	RuleSkipRatioCollapse = "skip_ratio_collapse"
 	RuleWorkerImbalance   = "worker_imbalance"
 	RuleLatencySpike      = "latency_spike"
+
+	// Cluster rules, fed by the router's BSP exchange loop.
+	RuleExchangeRoundBlowup = "exchange_round_blowup"
+	RuleShardLag            = "shard_lag"
+	RuleGhostChurn          = "ghost_churn"
+	RuleWireErrorBurst      = "wire_error_burst"
 )
 
 // AnomalyConfig bounds the detector's rules. The zero value means
@@ -53,6 +60,27 @@ type AnomalyConfig struct {
 	// LatencyWarmup is how many samples feed the running mean before
 	// the spike rule arms. Default 32.
 	LatencyWarmup int
+	// RoundBlowupFactor fires exchange_round_blowup when one exchange
+	// takes more than this multiple of the trailing median round count.
+	// Default 4.
+	RoundBlowupFactor float64
+	// RoundBlowupWarmup is how many completed exchanges feed the
+	// trailing median before the blowup rule arms. Default 4.
+	RoundBlowupWarmup int
+	// ShardLagFactor fires shard_lag when one shard's span of a round
+	// exceeds this multiple of the per-round median across shards.
+	// Default 8.
+	ShardLagFactor float64
+	// GhostChurnRatio and GhostChurnRound fire ghost_churn when a
+	// round past GhostChurnRound still absorbs more than
+	// GhostChurnRatio of the first round's absorb merges — ghost labels
+	// that keep churning instead of converging. Defaults 0.10 and 3.
+	GhostChurnRatio float64
+	GhostChurnRound int
+	// WireErrorBurst fires wire_error_burst when this many wire-level
+	// shard RPC errors land within WireErrorWindow. Defaults 3 and 1s.
+	WireErrorBurst  int
+	WireErrorWindow time.Duration
 	// MinInterval rate-limits each rule: after a firing, the same rule
 	// stays quiet for this long. Default 1s; negative disables the
 	// limit (tests).
@@ -77,6 +105,27 @@ func (c AnomalyConfig) withDefaults() AnomalyConfig {
 	}
 	if c.LatencyWarmup == 0 {
 		c.LatencyWarmup = 32
+	}
+	if c.RoundBlowupFactor == 0 {
+		c.RoundBlowupFactor = 4
+	}
+	if c.RoundBlowupWarmup == 0 {
+		c.RoundBlowupWarmup = 4
+	}
+	if c.ShardLagFactor == 0 {
+		c.ShardLagFactor = 8
+	}
+	if c.GhostChurnRatio == 0 {
+		c.GhostChurnRatio = 0.10
+	}
+	if c.GhostChurnRound == 0 {
+		c.GhostChurnRound = 3
+	}
+	if c.WireErrorBurst == 0 {
+		c.WireErrorBurst = 3
+	}
+	if c.WireErrorWindow == 0 {
+		c.WireErrorWindow = time.Second
 	}
 	if c.MinInterval == 0 {
 		c.MinInterval = time.Second
@@ -112,7 +161,8 @@ type AnomalyDetector struct {
 	mu        sync.Mutex
 	sink      io.Writer
 	flight    *FlightRecorder
-	snapshot  []byte // canonical flight dump captured at the last firing
+	snapFn    func() []byte // overrides the flight snapshot when set
+	snapshot  []byte        // canonical dump captured at the last firing
 	recent    []AnomalyRecord
 	seq       uint64
 	lastFire  map[string]time.Time
@@ -122,6 +172,11 @@ type AnomalyDetector struct {
 	stallRun  int
 	latMean   float64
 	latN      int
+
+	// cluster-rule state
+	exchHist   []float64   // trailing exchange round counts (non-fired)
+	churnFirst int64       // round-1 absorb merges of the current exchange
+	wireErrs   []time.Time // recent wire error times within the window
 }
 
 // NewAnomalyDetector builds a detector with counters bound in reg (nil
@@ -152,6 +207,18 @@ func (d *AnomalyDetector) SetSink(w io.Writer) {
 func (d *AnomalyDetector) AttachFlight(f *FlightRecorder) {
 	d.mu.Lock()
 	d.flight = f
+	d.mu.Unlock()
+}
+
+// SetSnapshotFunc overrides the firing snapshot source: when set, fn is
+// called instead of the attached flight recorder (the cluster router
+// installs its canonical merged-timeline builder here). fn must not
+// call back into the detector and must not take locks the firing call
+// path may hold — the router's builder reads only the wire-trace
+// recorder, never router state. nil restores the flight snapshot.
+func (d *AnomalyDetector) SetSnapshotFunc(fn func() []byte) {
+	d.mu.Lock()
+	d.snapFn = fn
 	d.mu.Unlock()
 }
 
@@ -217,8 +284,11 @@ func (d *AnomalyDetector) fire(rule, detail string, value, limit float64) {
 	if len(d.recent) > anomalyKeep {
 		d.recent = d.recent[len(d.recent)-anomalyKeep:]
 	}
-	sink, fl := d.sink, d.flight
-	if fl != nil {
+	sink, fl, snapFn := d.sink, d.flight, d.snapFn
+	switch {
+	case snapFn != nil:
+		d.snapshot = snapFn()
+	case fl != nil:
 		d.snapshot = fl.Snapshot(DumpOptions{Canonical: true})
 	}
 	d.mu.Unlock()
@@ -335,5 +405,129 @@ func (d *AnomalyDetector) ObserveLatency(ns float64) {
 		d.fire(RuleLatencySpike,
 			fmt.Sprintf("batch latency %.0fns is %.1fx the running mean %.0fns", ns, ns/mean, mean),
 			ns, d.cfg.LatencyFactor*mean)
+	}
+}
+
+// --- cluster feeds ---
+
+// exchHistKeep bounds the trailing exchange-round-count window the
+// blowup rule takes its median over.
+const exchHistKeep = 16
+
+// median returns the middle of a small sample (mean of the two middles
+// for even sizes). It copies; callers keep their slice order.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append(make([]float64, 0, len(xs)), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// ObserveExchange feeds the exchange-round-blowup rule with one
+// completed BSP exchange's round count. The rule arms after
+// RoundBlowupWarmup healthy exchanges and fires when an exchange takes
+// more than RoundBlowupFactor times the trailing median; fired samples
+// are kept out of the window so a sustained blowup cannot drag the
+// baseline up and silence itself.
+func (d *AnomalyDetector) ObserveExchange(rounds int) {
+	r := float64(rounds)
+	d.mu.Lock()
+	med := median(d.exchHist)
+	blowup := len(d.exchHist) >= d.cfg.RoundBlowupWarmup && med > 0 && r > d.cfg.RoundBlowupFactor*med
+	if !blowup {
+		d.exchHist = append(d.exchHist, r)
+		if len(d.exchHist) > exchHistKeep {
+			d.exchHist = d.exchHist[len(d.exchHist)-exchHistKeep:]
+		}
+	}
+	d.mu.Unlock()
+
+	if blowup {
+		d.fire(RuleExchangeRoundBlowup,
+			fmt.Sprintf("exchange took %d rounds, over %.0fx the trailing median %.1f", rounds, d.cfg.RoundBlowupFactor, med),
+			r, d.cfg.RoundBlowupFactor*med)
+	}
+}
+
+// ObserveRoundLag feeds the shard-lag rule with one exchange round's
+// per-shard RPC spans (nanoseconds, indexed by shard id; zero entries —
+// departed shards — are ignored). Fires when the slowest shard's span
+// exceeds ShardLagFactor times the round's median across shards.
+func (d *AnomalyDetector) ObserveRoundLag(round int, shardNS []int64) {
+	live := make([]float64, 0, len(shardNS))
+	maxNS, maxShard := int64(0), -1
+	for id, ns := range shardNS {
+		if ns <= 0 {
+			continue
+		}
+		live = append(live, float64(ns))
+		if ns > maxNS {
+			maxNS, maxShard = ns, id
+		}
+	}
+	if len(live) < 2 {
+		return
+	}
+	med := median(live)
+	if med > 0 && float64(maxNS) > d.cfg.ShardLagFactor*med {
+		d.fire(RuleShardLag,
+			fmt.Sprintf("round %d: shard %d span %dns is over %.0fx the round median %.0fns",
+				round, maxShard, maxNS, d.cfg.ShardLagFactor, med),
+			float64(maxNS), d.cfg.ShardLagFactor*med)
+	}
+}
+
+// ObserveExchangeRound feeds the ghost-churn rule with one round's
+// absorb-phase merge count. Round 1 sets the exchange's baseline; a
+// round past GhostChurnRound still absorbing more than GhostChurnRatio
+// of that baseline means ghost labels keep churning instead of
+// converging geometrically.
+func (d *AnomalyDetector) ObserveExchangeRound(round int, absorbMerged int64) {
+	d.mu.Lock()
+	if round == 1 {
+		d.churnFirst = absorbMerged
+	}
+	first := d.churnFirst
+	d.mu.Unlock()
+
+	if round > d.cfg.GhostChurnRound && first > 0 && float64(absorbMerged) > d.cfg.GhostChurnRatio*float64(first) {
+		d.fire(RuleGhostChurn,
+			fmt.Sprintf("round %d absorb still merged %d labels, over %.0f%% of round 1's %d",
+				round, absorbMerged, d.cfg.GhostChurnRatio*100, first),
+			float64(absorbMerged), d.cfg.GhostChurnRatio*float64(first))
+	}
+}
+
+// ObserveWireError feeds the wire-error-burst rule with one failed
+// shard RPC. Fires when WireErrorBurst errors land within
+// WireErrorWindow.
+func (d *AnomalyDetector) ObserveWireError(err error) {
+	if err == nil {
+		return
+	}
+	now := time.Now()
+	d.mu.Lock()
+	cut := 0
+	for cut < len(d.wireErrs) && now.Sub(d.wireErrs[cut]) > d.cfg.WireErrorWindow {
+		cut++
+	}
+	d.wireErrs = append(d.wireErrs[cut:], now)
+	burst := len(d.wireErrs) >= d.cfg.WireErrorBurst
+	n := len(d.wireErrs)
+	if burst {
+		d.wireErrs = d.wireErrs[:0] // one firing per burst
+	}
+	d.mu.Unlock()
+
+	if burst {
+		d.fire(RuleWireErrorBurst,
+			fmt.Sprintf("%d wire errors within %s (last: %v)", n, d.cfg.WireErrorWindow, err),
+			float64(n), float64(d.cfg.WireErrorBurst))
 	}
 }
