@@ -16,7 +16,7 @@ test:
 # the race matrix over the schedule-sensitive packages, a smoke run of
 # every fuzz target, the multi-process cluster smoke, and a run-vs-self
 # pass of the perf gate. This is what CI should run.
-check: vet build test race-matrix fuzz-smoke cluster-smoke perfgate-smoke
+check: vet build test race-matrix fuzz-smoke wal-smoke cluster-smoke perfgate-smoke
 
 # The race detector only sees interleavings that happen, so the
 # schedule-sensitive packages run under three thread budgets: 1 (pure
@@ -29,7 +29,7 @@ race-matrix:
 		echo "== race matrix: GOMAXPROCS=$$p =="; \
 		GOMAXPROCS=$$p $(GO) test -race -count=1 \
 			./internal/concurrent ./internal/core ./internal/serve ./internal/testkit \
-			./internal/cluster \
+			./internal/cluster ./internal/wal \
 			|| exit 1; \
 	done
 
@@ -42,6 +42,16 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=10s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzServeHandlers -fuzztime=10s ./internal/serve
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/cluster
+	$(GO) test -run='^$$' -fuzz=FuzzWALDecode -fuzztime=10s ./internal/wal
+
+# wal-smoke is the crash-recovery e2e: a durable ccserve under a
+# concurrent write workload, the WAL directory copied mid-append as a
+# crash image (torn tail included), and a fresh server booted from the
+# image alone — every pre-image acknowledged edge must be reflected and
+# the recovered labeling must match a serial oracle over the replayed
+# records.
+wal-smoke:
+	$(GO) test -run='^TestWALSmoke$$' -count=1 -v ./cmd/ccserve
 
 # cluster-smoke spins up the real sharded deployment — three ccshard
 # processes plus a ccserve -cluster router on loopback — loads a kron-16
@@ -84,4 +94,4 @@ perfgate-smoke:
 		rm -f $$tmp || exit 1; \
 	done
 
-.PHONY: all build vet test check race-matrix fuzz-smoke cluster-smoke bench perfgate perfgate-smoke
+.PHONY: all build vet test check race-matrix fuzz-smoke wal-smoke cluster-smoke bench perfgate perfgate-smoke

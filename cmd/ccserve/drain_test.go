@@ -10,7 +10,9 @@ import (
 	"testing"
 	"time"
 
+	"afforest/internal/graph"
 	"afforest/internal/serve"
+	"afforest/internal/wal"
 )
 
 func sameComp(snap *serve.Snapshot, u, v uint32) bool {
@@ -28,10 +30,12 @@ func sameComp(snap *serve.Snapshot, u, v uint32) bool {
 // 10-second batch window and the write is abandoned at the Shutdown
 // deadline without an acknowledgement.
 func TestDrainFlushesPendingWrites(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
 	srv, err := buildServer("", "urand", "", 500, 0, 1, 1, serve.Config{
 		SnapshotEvery: -1,
 		BatchWindow:   10 * time.Second, // far longer than the whole test should take
 		MaxBatch:      1 << 20,          // never flush on size
+		WALDir:        walDir,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -103,6 +107,29 @@ func TestDrainFlushesPendingWrites(t *testing.T) {
 	// The acknowledged edge is in the drained state...
 	if !sameComp(srv.Snapshot(), uint32(u), uint32(v)) {
 		t.Fatalf("edge (%d,%d) acknowledged but absent after drain", u, v)
+	}
+
+	// ...the on-disk WAL was fsynced and closed before drainServer
+	// returned: a fresh scan of the directory must find the flushed
+	// write with no torn tail and no divergence — the log is already
+	// complete even if the process dies right here, before any snapshot.
+	walFound := false
+	st, err := wal.Replay(nil, walDir, 0, func(_ wal.LSN, edges []graph.Edge) error {
+		for _, e := range edges {
+			if (int(e.U) == u && int(e.V) == v) || (int(e.U) == v && int(e.V) == u) {
+				walFound = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replaying wal after drain: %v", err)
+	}
+	if st.Tail != "" || st.Diverged {
+		t.Fatalf("post-drain wal not cleanly closed: %+v", st)
+	}
+	if !walFound {
+		t.Fatalf("acknowledged edge (%d,%d) missing from the post-drain wal", u, v)
 	}
 
 	// ...and survives the persist/restore cycle (SIGTERM → restart).

@@ -53,6 +53,10 @@ func main() {
 		maxBatch = flag.Int("max-batch", 8192, "max edges per coalesced batch")
 		snapEach = flag.Duration("snapshot-every", 250*time.Millisecond, "census snapshot refresh period (negative = on demand)")
 
+		walDir      = flag.String("wal-dir", "", "write-ahead log directory: every acknowledged write batch is logged and fsynced before it is applied, and replayed on restart (empty = no durability)")
+		walSegBytes = flag.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation threshold in bytes")
+		walFsync    = flag.String("wal-fsync", "group", "WAL fsync policy: group (one fsync per coalesced batch, before the ack) | none (OS-paced; acked writes may be lost to a crash, watched by the wal_lag anomaly rule)")
+
 		clusterAddrs = flag.String("cluster", "", "comma-separated ccshard addresses; serve as a sharded cluster router instead of single-node")
 
 		loadtest = flag.Bool("loadtest", false, "run the load generator instead of serving")
@@ -70,6 +74,16 @@ func main() {
 		SnapshotEvery: *snapEach,
 		Parallelism:   *par,
 	}
+	switch *walFsync {
+	case "group":
+	case "none":
+		cfg.WALNoSync = true
+	default:
+		fmt.Fprintf(os.Stderr, "ccserve: -wal-fsync must be group or none, got %q\n", *walFsync)
+		os.Exit(2)
+	}
+	cfg.WALDir = *walDir
+	cfg.WALSegmentBytes = *walSegBytes
 	// With a debug listener the flight recorder is always on: its
 	// steady-state cost is per-chunk, not per-edge, and /debug/flight is
 	// the first thing to pull when the service misbehaves. Anomaly
@@ -103,6 +117,16 @@ func main() {
 	}
 	fmt.Printf("serving %d vertices, %d edges, %d components on %s\n",
 		srv.NumVertices(), srv.EdgesAccepted(), srv.Snapshot().NumComponents(), *addr)
+	if rep := srv.WALReplay(); rep != nil {
+		fmt.Printf("wal %s: replayed %d records (%d edges) past watermark, skipped %d\n",
+			*walDir, rep.Records, rep.Edges, rep.Skipped)
+		if rep.Tail != "" {
+			fmt.Printf("wal: recovered from torn tail: %s\n", rep.Tail)
+		}
+		if rep.Diverged {
+			fmt.Fprintf(os.Stderr, "ccserve: WARNING: wal replay diverged: %s\n", rep.Divergence)
+		}
+	}
 
 	if *debug != "" {
 		// pprof registers on http.DefaultServeMux via its import side

@@ -208,6 +208,12 @@ func readFrame(r io.Reader) (op byte, tc traceCtx, payload []byte, err error) {
 		tc.trace = binary.LittleEndian.Uint64(ext[0:8])
 		tc.parent = binary.LittleEndian.Uint32(ext[8:12])
 		tc.flags = ext[12]
+		if !tc.active() {
+			// Trace ids start at 1, so parent/flags under trace 0 are
+			// junk a peer put on the wire; normalize to the zero value
+			// the encoder's inactive path round-trips.
+			tc = traceCtx{}
+		}
 		body -= traceExtLen
 	}
 	if body > 0 {

@@ -19,6 +19,11 @@ import (
 type Incremental struct {
 	p          Parent
 	components atomic.Int64
+	// appliedLSN is the WAL high-water mark: the largest log sequence
+	// number whose batch has been applied to π. Maintained by the serve
+	// layer (MarkApplied after each flush, and during replay); 0 means
+	// no logged history has been applied.
+	appliedLSN atomic.Uint64
 }
 
 // NewIncremental returns a structure over n isolated vertices.
@@ -85,6 +90,35 @@ func (inc *Incremental) AddEdges(edges []graph.Edge, parallelism int, ob obs.Obs
 	}
 	return m
 }
+
+// AddEdgeMerge is AddEdge that additionally reports which component
+// roots merged (winner survives, loser was hooked under it), for
+// callers that publish merge events. Safe for concurrent use.
+func (inc *Incremental) AddEdgeMerge(u, v graph.V) (winner, loser graph.V, merged bool) {
+	if u == v {
+		return 0, 0, false
+	}
+	winner, loser, merged = LinkRecordMerge(inc.p, u, v)
+	if merged {
+		inc.components.Add(-1)
+	}
+	return winner, loser, merged
+}
+
+// MarkApplied advances the applied-LSN watermark to lsn if it is
+// higher (a monotonic max — replay and concurrent flushes may call
+// out of order).
+func (inc *Incremental) MarkApplied(lsn uint64) {
+	for {
+		cur := inc.appliedLSN.Load()
+		if lsn <= cur || inc.appliedLSN.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// AppliedLSN returns the largest WAL sequence number applied to π.
+func (inc *Incremental) AppliedLSN() uint64 { return inc.appliedLSN.Load() }
 
 // Connected reports whether u and v are currently in the same
 // component. Safe concurrently with AddEdge; the answer reflects some

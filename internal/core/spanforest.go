@@ -33,6 +33,36 @@ func LinkRecord(p Parent, u, v graph.V) bool {
 	return false
 }
 
+// LinkRecordMerge is LinkRecord that additionally reports which roots
+// merged: when the hook CAS succeeds, winner is the surviving root
+// (the lower id l — under Invariant 1, roots are their trees' minima,
+// so winner remains the merged tree's root) and loser is the root that
+// was hooked underneath it. When no merge happens both are zero. This
+// is the observation point behind the serve layer's component-merge
+// event stream.
+func LinkRecordMerge(p Parent, u, v graph.V) (winner, loser graph.V, merged bool) {
+	p1 := p.Get(u)
+	p2 := p.Get(v)
+	for p1 != p2 {
+		var h, l graph.V
+		if p1 > p2 {
+			h, l = p1, p2
+		} else {
+			h, l = p2, p1
+		}
+		ph := p.Get(h)
+		if ph == l {
+			return 0, 0, false
+		}
+		if ph == h && p.cas(h, h, l) {
+			return l, h, true
+		}
+		p1 = p.Get(p.Get(h))
+		p2 = p.Get(l)
+	}
+	return 0, 0, false
+}
+
 // SpanningForest extracts a spanning forest of g using the duality of
 // Section IV-A: run Afforest's link over all edges and keep exactly the
 // edges whose Link performed a tree merge. The result has |V| − C edges,

@@ -13,11 +13,20 @@ import (
 // labels honoring Invariant 1: label[v] <= v) plus the accepted-edge
 // count at snapshot time, so a restarted server resumes with exact
 // connectivity state and an honest edge counter without re-running the
-// batch algorithm.
+// batch algorithm. Version 2 adds the WAL watermark: the highest log
+// sequence number applied to π before the labels were captured, which
+// anchors both replay (records at or below it are skipped) and
+// snapshot-anchored log truncation. Version 1 files (no watermark) are
+// still read, with lsn = 0 — replay everything, which is safe because
+// union-find application is idempotent.
 //
-//	magic [6]byte | numVertices uint64 | numEdges uint64 | labels [numVertices]uint32
+//	v1  magic "AFPIS\x01" | numVertices u64 | numEdges u64 | labels [numVertices]u32
+//	v2  magic "AFPIS\x02" | numVertices u64 | numEdges u64 | lsn u64 | labels [numVertices]u32
 
-const labelMagic = "AFPIS\x01"
+const (
+	labelMagicV1 = "AFPIS\x01"
+	labelMagic   = "AFPIS\x02"
+)
 
 // readChunkLimit bounds how many elements a single binary read
 // allocates at once. Deserializers size their buffers from an untrusted
@@ -70,14 +79,15 @@ func readUint32s(r io.Reader, count uint64) ([]V, error) {
 	return out, nil
 }
 
-// WriteLabelSnapshot serializes a component labeling and its
-// accepted-edge count.
-func WriteLabelSnapshot(w io.Writer, labels []V, edges int64) error {
+// WriteLabelSnapshot serializes a component labeling, its
+// accepted-edge count, and the WAL watermark lsn (0 when no log is in
+// use). Always writes the current (v2) format.
+func WriteLabelSnapshot(w io.Writer, labels []V, edges int64, lsn uint64) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(labelMagic); err != nil {
 		return err
 	}
-	hdr := [2]uint64{uint64(len(labels)), uint64(edges)}
+	hdr := [3]uint64{uint64(len(labels)), uint64(edges), lsn}
 	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
 		return err
 	}
@@ -88,44 +98,53 @@ func WriteLabelSnapshot(w io.Writer, labels []V, edges int64) error {
 }
 
 // ReadLabelSnapshot deserializes a snapshot written by
-// WriteLabelSnapshot, validating Invariant 1 (label[v] <= v) so a
-// corrupt file cannot smuggle a cyclic π into a restarted server.
-func ReadLabelSnapshot(r io.Reader) (labels []V, edges int64, err error) {
+// WriteLabelSnapshot (either version), validating Invariant 1
+// (label[v] <= v) so a corrupt file cannot smuggle a cyclic π into a
+// restarted server. v1 files report lsn = 0.
+func ReadLabelSnapshot(r io.Reader) (labels []V, edges int64, lsn uint64, err error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(labelMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, 0, fmt.Errorf("graph: reading snapshot magic: %w", err)
+		return nil, 0, 0, fmt.Errorf("graph: reading snapshot magic: %w", err)
 	}
-	if string(magic) != labelMagic {
-		return nil, 0, fmt.Errorf("graph: bad snapshot magic %q", magic)
+	v2 := string(magic) == labelMagic
+	if !v2 && string(magic) != labelMagicV1 {
+		return nil, 0, 0, fmt.Errorf("graph: bad snapshot magic %q", magic)
 	}
 	var hdr [2]uint64
 	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
-		return nil, 0, fmt.Errorf("graph: reading snapshot header: %w", err)
+		return nil, 0, 0, fmt.Errorf("graph: reading snapshot header: %w", err)
 	}
 	n, m := hdr[0], hdr[1]
 	if n > 1<<32 {
-		return nil, 0, fmt.Errorf("graph: implausible snapshot size |V|=%d", n)
+		return nil, 0, 0, fmt.Errorf("graph: implausible snapshot size |V|=%d", n)
+	}
+	if v2 {
+		var w [1]uint64
+		if err := binary.Read(br, binary.LittleEndian, w[:]); err != nil {
+			return nil, 0, 0, fmt.Errorf("graph: reading snapshot watermark: %w", err)
+		}
+		lsn = w[0]
 	}
 	labels, err = readUint32s(br, n)
 	if err != nil {
-		return nil, 0, fmt.Errorf("graph: reading snapshot labels: %w", err)
+		return nil, 0, 0, fmt.Errorf("graph: reading snapshot labels: %w", err)
 	}
 	for v, l := range labels {
 		if l > V(v) {
-			return nil, 0, fmt.Errorf("graph: snapshot label[%d]=%d violates π(x) ≤ x", v, l)
+			return nil, 0, 0, fmt.Errorf("graph: snapshot label[%d]=%d violates π(x) ≤ x", v, l)
 		}
 	}
-	return labels, int64(m), nil
+	return labels, int64(m), lsn, nil
 }
 
 // SaveLabelSnapshot writes a snapshot to path.
-func SaveLabelSnapshot(path string, labels []V, edges int64) error {
+func SaveLabelSnapshot(path string, labels []V, edges int64, lsn uint64) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	werr := WriteLabelSnapshot(f, labels, edges)
+	werr := WriteLabelSnapshot(f, labels, edges, lsn)
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
@@ -133,10 +152,10 @@ func SaveLabelSnapshot(path string, labels []V, edges int64) error {
 }
 
 // LoadLabelSnapshot reads a snapshot from path.
-func LoadLabelSnapshot(path string) (labels []V, edges int64, err error) {
+func LoadLabelSnapshot(path string) (labels []V, edges int64, lsn uint64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer f.Close()
 	return ReadLabelSnapshot(f)

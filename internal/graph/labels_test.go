@@ -11,15 +11,18 @@ import (
 func TestLabelSnapshotRoundTrip(t *testing.T) {
 	labels := []V{0, 0, 2, 2, 0, 5}
 	var buf bytes.Buffer
-	if err := WriteLabelSnapshot(&buf, labels, 42); err != nil {
+	if err := WriteLabelSnapshot(&buf, labels, 42, 17); err != nil {
 		t.Fatal(err)
 	}
-	got, edges, err := ReadLabelSnapshot(&buf)
+	got, edges, lsn, err := ReadLabelSnapshot(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if edges != 42 {
 		t.Fatalf("edges = %d, want 42", edges)
+	}
+	if lsn != 17 {
+		t.Fatalf("lsn = %d, want 17", lsn)
 	}
 	if len(got) != len(labels) {
 		t.Fatalf("len = %d, want %d", len(got), len(labels))
@@ -28,6 +31,24 @@ func TestLabelSnapshotRoundTrip(t *testing.T) {
 		if got[i] != labels[i] {
 			t.Fatalf("label[%d] = %d, want %d", i, got[i], labels[i])
 		}
+	}
+}
+
+// TestLabelSnapshotReadsV1 pins backward compatibility: a version-1
+// snapshot (no watermark field) still loads, with lsn 0 — replay
+// everything, which idempotent union-find application absorbs.
+func TestLabelSnapshotReadsV1(t *testing.T) {
+	labels := []V{0, 0, 1}
+	var buf bytes.Buffer
+	buf.WriteString("AFPIS\x01")
+	binary.Write(&buf, binary.LittleEndian, [2]uint64{uint64(len(labels)), 9})
+	binary.Write(&buf, binary.LittleEndian, labels)
+	got, edges, lsn, err := ReadLabelSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges != 9 || lsn != 0 || len(got) != 3 {
+		t.Fatalf("v1 read: edges=%d lsn=%d len=%d", edges, lsn, len(got))
 	}
 }
 
@@ -41,38 +62,38 @@ func TestLabelSnapshotFileRoundTrip(t *testing.T) {
 	for i := 0; i < 7; i++ {
 		labels[i] = 0
 	}
-	if err := SaveLabelSnapshot(path, labels, 123456); err != nil {
+	if err := SaveLabelSnapshot(path, labels, 123456, 777); err != nil {
 		t.Fatal(err)
 	}
-	got, edges, err := LoadLabelSnapshot(path)
+	got, edges, lsn, err := LoadLabelSnapshot(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if edges != 123456 || len(got) != len(labels) {
-		t.Fatalf("edges=%d len=%d", edges, len(got))
+	if edges != 123456 || lsn != 777 || len(got) != len(labels) {
+		t.Fatalf("edges=%d lsn=%d len=%d", edges, lsn, len(got))
 	}
 }
 
 func TestLabelSnapshotRejectsCorruption(t *testing.T) {
 	// Wrong magic.
-	if _, _, err := ReadLabelSnapshot(strings.NewReader("NOTASNAPSHOT")); err == nil {
+	if _, _, _, err := ReadLabelSnapshot(strings.NewReader("NOTASNAPSHOT")); err == nil {
 		t.Fatal("bad magic accepted")
 	}
 	// Invariant violation: label[1] = 2 > 1.
 	var buf bytes.Buffer
-	if err := WriteLabelSnapshot(&buf, []V{0, 2, 2}, 1); err != nil {
+	if err := WriteLabelSnapshot(&buf, []V{0, 2, 2}, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ReadLabelSnapshot(&buf); err == nil {
+	if _, _, _, err := ReadLabelSnapshot(&buf); err == nil {
 		t.Fatal("invariant-violating snapshot accepted")
 	}
 	// Truncated labels.
 	var buf2 bytes.Buffer
-	if err := WriteLabelSnapshot(&buf2, []V{0, 0, 0, 0}, 1); err != nil {
+	if err := WriteLabelSnapshot(&buf2, []V{0, 0, 0, 0}, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	short := buf2.Bytes()[:buf2.Len()-6]
-	if _, _, err := ReadLabelSnapshot(bytes.NewReader(short)); err == nil {
+	if _, _, _, err := ReadLabelSnapshot(bytes.NewReader(short)); err == nil {
 		t.Fatal("truncated snapshot accepted")
 	}
 }
@@ -83,9 +104,9 @@ func TestLabelSnapshotRejectsCorruption(t *testing.T) {
 // upfront allocation.
 func TestLabelSnapshotHugeHeaderNoOOM(t *testing.T) {
 	var buf bytes.Buffer
-	buf.WriteString("AFPIS\x01")
-	binary.Write(&buf, binary.LittleEndian, [2]uint64{1 << 31, 0})
-	if _, _, err := ReadLabelSnapshot(&buf); err == nil {
+	buf.WriteString("AFPIS\x02")
+	binary.Write(&buf, binary.LittleEndian, [3]uint64{1 << 31, 0, 0})
+	if _, _, _, err := ReadLabelSnapshot(&buf); err == nil {
 		t.Fatal("truncated huge snapshot accepted")
 	}
 }

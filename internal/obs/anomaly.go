@@ -32,6 +32,10 @@ const (
 	RuleShardLag            = "shard_lag"
 	RuleGhostChurn          = "ghost_churn"
 	RuleWireErrorBurst      = "wire_error_burst"
+
+	// Durability rules, fed by the serve layer's WAL.
+	RuleWALLag           = "wal_lag"
+	RuleReplayDivergence = "replay_divergence"
 )
 
 // AnomalyConfig bounds the detector's rules. The zero value means
@@ -81,6 +85,13 @@ type AnomalyConfig struct {
 	// shard RPC errors land within WireErrorWindow. Defaults 3 and 1s.
 	WireErrorBurst  int
 	WireErrorWindow time.Duration
+	// WALLagBytes and WALLagRecords fire wal_lag when the write-ahead
+	// log's durable position trails its appended position by more than
+	// either bound — acknowledged batches are exposed to a crash (the
+	// -wal-fsync=none regime, or an fsync path that stopped keeping up).
+	// Defaults 16MiB and 4096 records.
+	WALLagBytes   int64
+	WALLagRecords int64
 	// MinInterval rate-limits each rule: after a firing, the same rule
 	// stays quiet for this long. Default 1s; negative disables the
 	// limit (tests).
@@ -126,6 +137,12 @@ func (c AnomalyConfig) withDefaults() AnomalyConfig {
 	}
 	if c.WireErrorWindow == 0 {
 		c.WireErrorWindow = time.Second
+	}
+	if c.WALLagBytes == 0 {
+		c.WALLagBytes = 16 << 20
+	}
+	if c.WALLagRecords == 0 {
+		c.WALLagRecords = 4096
 	}
 	if c.MinInterval == 0 {
 		c.MinInterval = time.Second
@@ -502,6 +519,33 @@ func (d *AnomalyDetector) ObserveExchangeRound(round int, absorbMerged int64) {
 				round, absorbMerged, d.cfg.GhostChurnRatio*100, first),
 			float64(absorbMerged), d.cfg.GhostChurnRatio*float64(first))
 	}
+}
+
+// --- durability feeds ---
+
+// ObserveWALLag feeds the wal_lag rule with the write-ahead log's
+// current exposure: how many acknowledged records (lsnDelta) and bytes
+// (byteDelta) are appended but not yet known durable. Fires when either
+// exceeds its configured bound.
+func (d *AnomalyDetector) ObserveWALLag(lsnDelta, byteDelta int64) {
+	switch {
+	case byteDelta > d.cfg.WALLagBytes:
+		d.fire(RuleWALLag,
+			fmt.Sprintf("%d bytes (%d records) appended but not durable, over the %d-byte bound", byteDelta, lsnDelta, d.cfg.WALLagBytes),
+			float64(byteDelta), float64(d.cfg.WALLagBytes))
+	case lsnDelta > d.cfg.WALLagRecords:
+		d.fire(RuleWALLag,
+			fmt.Sprintf("%d records (%d bytes) appended but not durable, over the %d-record bound", lsnDelta, byteDelta, d.cfg.WALLagRecords),
+			float64(lsnDelta), float64(d.cfg.WALLagRecords))
+	}
+}
+
+// ObserveReplayDivergence feeds the replay_divergence rule: startup
+// replay found damage to supposedly-durable history (a mid-log torn
+// segment, an uncovered LSN gap, corruption below the snapshot
+// watermark). Always fires — there is no threshold on losing history.
+func (d *AnomalyDetector) ObserveReplayDivergence(detail string) {
+	d.fire(RuleReplayDivergence, detail, 1, 0)
 }
 
 // ObserveWireError feeds the wire-error-burst rule with one failed

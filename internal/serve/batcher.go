@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"afforest/internal/core"
 	"afforest/internal/graph"
 	"afforest/internal/obs"
+	"afforest/internal/wal"
 )
 
 // edgeBatcher coalesces concurrent POST /edges bodies into batches
@@ -28,6 +30,14 @@ type edgeBatcher struct {
 	ob          obs.Observer   // edge_batch_apply spans (may be nil)
 	applyHist   *obs.Histogram // per-flush apply wall time (may be nil)
 
+	// Durability and event wiring, assigned by the server between
+	// construction and the run() launch (the batcher goroutine must not
+	// start before these are set).
+	wal      *wal.Log                                                  // nil = no write-ahead logging
+	hub      *eventHub                                                 // merge-event fan-out (may be nil)
+	sizeOf   func(graph.V) int                                         // census-snapshot size lookup for events
+	onWALLag func(lsnDelta, byteDelta int64, appended, durable uint64) // post-flush durability gap report
+
 	submit chan *submission
 	done   chan struct{}
 
@@ -35,6 +45,7 @@ type edgeBatcher struct {
 	batchedEdges atomic.Int64
 	merges       atomic.Int64
 	maxSeen      atomic.Int64
+	walFailed    atomic.Int64 // batches refused because the WAL append failed
 }
 
 // submission is one request's edges plus the channel its handler blocks
@@ -47,6 +58,8 @@ type submission struct {
 type submitResult struct {
 	accepted int
 	merged   int
+	lsn      uint64 // WAL record that carries this submission (0 = no WAL)
+	err      error  // WAL append failure: nothing was applied or acked
 }
 
 func newEdgeBatcher(inc *core.Incremental, window time.Duration, maxBatch, parallelism int, accepted *atomic.Int64, ob obs.Observer, applyHist *obs.Histogram) *edgeBatcher {
@@ -64,7 +77,6 @@ func newEdgeBatcher(inc *core.Incremental, window time.Duration, maxBatch, paral
 		submit:      make(chan *submission, 1024),
 		done:        make(chan struct{}),
 	}
-	go b.run()
 	return b
 }
 
@@ -125,8 +137,17 @@ func (b *edgeBatcher) collect(first *submission) (batch []*submission, open bool
 	return batch, true
 }
 
-// flush links every edge of the batch in one parallel pass and replies
-// to each submission with its accepted/merged counts.
+// flush persists, applies, and acknowledges one coalesced batch, in
+// that order:
+//
+//  1. Append the whole batch as one WAL record and fsync (group commit:
+//     one fsync covers every request riding in the batch). A failed
+//     append refuses the batch — nothing is applied, every submission
+//     gets the error, the durability contract "ack ⇒ replayable" holds.
+//  2. Link every edge in one parallel pass, collecting the component
+//     merges each link performed.
+//  3. Advance the applied-LSN watermark, publish the merges to the SSE
+//     hub, report the durability gap, and reply to each submission.
 func (b *edgeBatcher) flush(batch []*submission) {
 	type flatEdge struct {
 		u, v graph.V
@@ -137,12 +158,31 @@ func (b *edgeBatcher) flush(batch []*submission) {
 		total += len(s.edges)
 	}
 	flat := make([]flatEdge, 0, total)
+	all := make([]graph.Edge, 0, total)
 	for i, s := range batch {
 		for _, e := range s.edges {
 			flat = append(flat, flatEdge{u: e.U, v: e.V, sub: int32(i)})
+			all = append(all, e)
 		}
 	}
+
+	var lsn uint64
+	if b.wal != nil && total > 0 {
+		l, err := b.wal.Append(all)
+		if err != nil {
+			b.walFailed.Add(1)
+			for _, s := range batch {
+				s.reply <- submitResult{err: err}
+			}
+			return
+		}
+		lsn = uint64(l)
+	}
+
 	mergedPer := make([]int64, len(batch))
+	var eventMu sync.Mutex
+	var events []MergeEvent
+	collect := b.hub != nil
 	var span obs.SpanID
 	if b.ob != nil {
 		span = b.ob.BeginPhase(obs.PhaseEdgeBatch)
@@ -150,11 +190,25 @@ func (b *edgeBatcher) flush(batch []*submission) {
 	applyStart := time.Now()
 	if len(flat) > 0 {
 		concurrent.ForRange(len(flat), b.parallelism, 256, func(lo, hi, _ int) {
+			var local []MergeEvent
 			for i := lo; i < hi; i++ {
 				e := flat[i]
-				if b.inc.AddEdge(e.u, e.v) {
-					atomic.AddInt64(&mergedPer[e.sub], 1)
+				winner, loser, merged := b.inc.AddEdgeMerge(e.u, e.v)
+				if !merged {
+					continue
 				}
+				atomic.AddInt64(&mergedPer[e.sub], 1)
+				if collect {
+					local = append(local, MergeEvent{
+						LSN: lsn, Winner: winner, Loser: loser,
+						WinnerSize: b.sizeOf(winner), LoserSize: b.sizeOf(loser),
+					})
+				}
+			}
+			if len(local) > 0 {
+				eventMu.Lock()
+				events = append(events, local...)
+				eventMu.Unlock()
 			}
 		})
 	}
@@ -173,6 +227,17 @@ func (b *edgeBatcher) flush(batch []*submission) {
 			Merges: merged,
 		})
 	}
+	if lsn > 0 {
+		b.inc.MarkApplied(lsn)
+	}
+	if collect && len(events) > 0 {
+		b.hub.publish(events)
+	}
+	if b.wal != nil && b.onWALLag != nil {
+		ws := b.wal.Stats()
+		b.onWALLag(int64(ws.AppendedLSN-ws.DurableLSN), ws.AppendedBytes-ws.DurableBytes,
+			uint64(ws.AppendedLSN), uint64(ws.DurableLSN))
+	}
 	b.batches.Add(1)
 	b.batchedEdges.Add(int64(total))
 	b.merges.Add(merged)
@@ -184,6 +249,6 @@ func (b *edgeBatcher) flush(batch []*submission) {
 		}
 	}
 	for i, s := range batch {
-		s.reply <- submitResult{accepted: len(s.edges), merged: int(mergedPer[i])}
+		s.reply <- submitResult{accepted: len(s.edges), merged: int(mergedPer[i]), lsn: lsn}
 	}
 }

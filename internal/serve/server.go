@@ -35,6 +35,7 @@ import (
 	"afforest/internal/graph"
 	"afforest/internal/obs"
 	"afforest/internal/stats"
+	"afforest/internal/wal"
 )
 
 // Config tunes a Server. The zero value is production-reasonable.
@@ -69,6 +70,26 @@ type Config struct {
 	// observer chain, and every anomaly firing snapshots it. nil means
 	// no flight recording.
 	Flight *obs.FlightRecorder
+	// WALDir, when non-empty, makes Open durable: every coalesced edge
+	// batch is appended and fsynced to a write-ahead log there before it
+	// is applied and acknowledged, and Open replays the log into the
+	// structure before the server accepts traffic.
+	WALDir string
+	// WALSegmentBytes is the log's segment rotation threshold
+	// (0 = wal default, 64MiB).
+	WALSegmentBytes int64
+	// WALNoSync drops the per-batch fsync: acknowledged writes may be
+	// lost to a crash, and the wal_lag anomaly rule tracks the exposure.
+	WALNoSync bool
+	// WAL injects a pre-opened log instead of WALDir (tests, custom
+	// filesystems). The server takes ownership and closes it on Close.
+	WAL *wal.Log
+	// EventBuffer is the merge-event ring size backing Last-Event-ID
+	// resume on GET /events (0 = 1024).
+	EventBuffer int
+	// SubscriberQueue bounds each SSE subscriber's queue; a client that
+	// falls this far behind is evicted (0 = 256).
+	SubscriberQueue int
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +135,12 @@ type Server struct {
 	writeMu sync.RWMutex // guards closed vs. in-flight enqueues
 	closed  bool
 
+	hub       *eventHub
+	wal       *wal.Log         // nil without durability
+	walReplay *wal.ReplayStats // startup replay outcome (set by Open)
+	walLSN    *obs.Gauge       // afforest_wal_appended_lsn
+	walDur    *obs.Gauge       // afforest_wal_durable_lsn
+
 	edges atomic.Int64 // accepted edges (initial graph + streamed)
 
 	stopSnap chan struct{}
@@ -135,6 +162,7 @@ type counters struct {
 	component *obs.Counter
 	census    *obs.Counter
 	edges     *obs.Counter
+	events    *obs.Counter
 	stats     *obs.Counter
 	metrics   *obs.Counter
 	healthz   *obs.Counter
@@ -153,6 +181,7 @@ func newCounters(reg *obs.Registry) counters {
 		component: h("component"),
 		census:    h("census"),
 		edges:     h("edges"),
+		events:    h("events"),
 		stats:     h("stats"),
 		metrics:   h("metrics"),
 		healthz:   h("healthz"),
@@ -204,15 +233,47 @@ func New(inc *core.Incremental, bootEdges int64, cfg Config) *Server {
 	pm := obs.NewPoolMetrics(reg)
 	pm.OnJob = cfg.Anomaly.ObserveImbalance
 	concurrent.DefaultPool().SetMetrics(pm)
+	s.hub = newEventHub(cfg.EventBuffer, cfg.SubscriberQueue)
+	s.wal = cfg.WAL
+	if s.wal != nil {
+		s.walLSN = reg.Gauge("afforest_wal_appended_lsn",
+			"Last WAL record written (log sequence number).")
+		s.walDur = reg.Gauge("afforest_wal_durable_lsn",
+			"Last WAL record known fsynced; trailing appended = crash exposure.")
+		ws := s.wal.Stats()
+		s.walLSN.Set(float64(ws.AppendedLSN))
+		s.walDur.Set(float64(ws.DurableLSN))
+	}
 	// The batcher bumps s.edges inside flush, before replying, so the
-	// post-drain snapshot's edge count is exact.
+	// post-drain snapshot's edge count is exact. With a WAL it appends
+	// and fsyncs each coalesced batch before applying it (write-ahead),
+	// then reports the durability gap to the gauges and the wal_lag rule.
 	s.batcher = newEdgeBatcher(inc, cfg.BatchWindow, cfg.MaxBatch, cfg.Parallelism, &s.edges,
 		obs.Multi(obs.NewRunMetrics(reg), cfg.Anomaly, cfg.flightObserver()),
 		reg.Histogram("afforest_edge_apply_ns",
 			"Wall time of one coalesced edge-batch parallel apply.", obs.DefaultLatencyBuckets))
+	s.batcher.wal = s.wal
+	s.batcher.hub = s.hub
+	s.batcher.sizeOf = func(v graph.V) int {
+		snap := s.snap.Load()
+		if snap == nil {
+			return 0
+		}
+		_, size := snap.ComponentOf(v)
+		return size
+	}
+	if s.wal != nil {
+		s.batcher.onWALLag = func(lsnDelta, byteDelta int64, appended, durable uint64) {
+			s.walLSN.Set(float64(appended))
+			s.walDur.Set(float64(durable))
+			cfg.Anomaly.ObserveWALLag(lsnDelta, byteDelta)
+		}
+	}
+	go s.batcher.run()
 	s.mux.HandleFunc("GET /connected", s.handleConnected)
 	s.mux.HandleFunc("GET /component", s.handleComponent)
 	s.mux.HandleFunc("GET /census", s.handleCensus)
+	s.mux.HandleFunc("GET /events", s.handleEvents)
 	s.mux.HandleFunc("POST /edges", s.handleEdges)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -238,6 +299,47 @@ func (s *Server) Flight() *obs.FlightRecorder { return s.cfg.Flight }
 // LastRun returns the bootstrap run's phase-tree report, or nil when
 // the server was built without a batch run (New/Restore).
 func (s *Server) LastRun() *obs.Report { return s.lastRun.Load() }
+
+// WALReplay returns the startup replay outcome, or nil when the server
+// runs without a write-ahead log.
+func (s *Server) WALReplay() *wal.ReplayStats { return s.walReplay }
+
+// Open is New plus durability: when cfg.WALDir is set (and no log was
+// injected via cfg.WAL), it opens the write-ahead log there, replays
+// every record past inc's applied watermark into inc — before the
+// server exists, so no traffic races the rebuild — and serves with
+// write-ahead appends. Replay damage to supposedly-durable history
+// fires the replay_divergence anomaly but does not prevent startup;
+// the verdict is surfaced in /stats under "wal".
+func Open(inc *core.Incremental, bootEdges int64, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	var st wal.ReplayStats
+	if cfg.WAL == nil && cfg.WALDir != "" {
+		after := wal.LSN(inc.AppliedLSN())
+		var replayed int64
+		l, rst, err := wal.Open(cfg.WALDir, after, func(lsn wal.LSN, edges []graph.Edge) error {
+			for _, e := range edges {
+				inc.AddEdge(e.U, e.V)
+			}
+			inc.MarkApplied(uint64(lsn))
+			replayed += int64(len(edges))
+			return nil
+		}, wal.Options{SegmentBytes: cfg.WALSegmentBytes, NoSync: cfg.WALNoSync})
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening wal at %s: %w", cfg.WALDir, err)
+		}
+		bootEdges += replayed
+		cfg.WAL, st = l, rst
+	}
+	s := New(inc, bootEdges, cfg)
+	if cfg.WALDir != "" || cfg.WAL != nil {
+		s.walReplay = &st
+		if st.Diverged {
+			cfg.Anomaly.ObserveReplayDivergence(st.Divergence)
+		}
+	}
+	return s, nil
+}
 
 // Bootstrap runs the full batch Afforest algorithm over g, restores an
 // incremental structure from the resulting labels, and serves it. This
@@ -271,15 +373,20 @@ func Bootstrap(g *graph.CSR, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: bootstrap labels invalid: %w", err)
 	}
-	s := New(inc, g.NumEdges(), cfg)
+	s, err := Open(inc, g.NumEdges(), cfg)
+	if err != nil {
+		return nil, err
+	}
 	s.lastRun.Store(tracer.Report())
 	return s, nil
 }
 
 // Restore loads a label snapshot persisted by SaveSnapshot and serves
-// it — restart-without-rebuild.
+// it — restart-without-rebuild. With cfg.WALDir set, the snapshot's
+// watermark anchors replay: only records past it are re-applied (and
+// re-applying a fuzzy overlap is harmless, union-find is idempotent).
 func Restore(path string, cfg Config) (*Server, error) {
-	labels, edges, err := graph.LoadLabelSnapshot(path)
+	labels, edges, lsn, err := graph.LoadLabelSnapshot(path)
 	if err != nil {
 		return nil, err
 	}
@@ -287,15 +394,28 @@ func Restore(path string, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return New(inc, edges, cfg), nil
+	inc.MarkApplied(lsn)
+	return Open(inc, edges, cfg)
 }
 
-// SaveSnapshot persists the current labeling and accepted-edge count to
-// path. Call after Close for a consistent shutdown snapshot, or any
-// time for a fuzzy online one (edges racing the cut may be missed).
+// SaveSnapshot persists the current labeling, accepted-edge count, and
+// WAL watermark to path, then truncates log segments the snapshot has
+// made redundant. Call after Close for a consistent shutdown snapshot,
+// or any time for a fuzzy online one: the watermark is captured before
+// the labels, so it can only undershoot — replay re-applies the
+// overlap, which union-find absorbs idempotently.
 func (s *Server) SaveSnapshot(path string) error {
+	lsn := s.inc.AppliedLSN()
 	labels := s.inc.Snapshot(s.cfg.Parallelism)
-	return graph.SaveLabelSnapshot(path, labels, s.edges.Load())
+	if err := graph.SaveLabelSnapshot(path, labels, s.edges.Load(), lsn); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		if _, err := s.wal.TruncateThrough(wal.LSN(lsn)); err != nil {
+			return fmt.Errorf("serve: truncating wal through lsn %d: %w", lsn, err)
+		}
+	}
+	return nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -359,6 +479,17 @@ func (s *Server) Close() {
 	// the tail of the queue.
 	close(s.batcher.submit)
 	<-s.batcher.done
+	// Every drained batch has been appended; fsync and close the active
+	// segment now, before Close returns — the drain contract is that the
+	// on-disk log is complete and cleanly replayable the moment
+	// http.Shutdown (which calls Close first) hands control back.
+	if s.wal != nil {
+		if err := s.wal.Close(); err == nil {
+			ws := s.wal.Stats()
+			s.walDur.Set(float64(ws.DurableLSN))
+		}
+	}
+	s.hub.close() // SSE streams end after the last drained batch's events
 	close(s.stopSnap)
 	<-s.snapDone
 	s.Refresh() // final snapshot reflects every drained batch
@@ -522,10 +653,23 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	writeJSON(w, map[string]any{
+	if res.err != nil {
+		// The WAL append failed: the batch was not applied and must not
+		// be acknowledged — the durability contract is ack ⇒ replayable.
+		// (Not httpError: that counter tracks 4xx client mistakes.)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(map[string]string{"error": "write-ahead log append failed: " + res.err.Error()})
+		return
+	}
+	body := map[string]any{
 		"accepted": res.accepted,
 		"merged":   res.merged,
-	})
+	}
+	if res.lsn > 0 {
+		body["lsn"] = res.lsn
+	}
+	writeJSON(w, body)
 	s.writeLat.Observe(time.Since(start))
 }
 
@@ -580,6 +724,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"count":  s.cfg.Anomaly.Count(),
 			"recent": s.cfg.Anomaly.Recent(),
 		},
+	}
+	published, evictions, live := s.hub.snapshot()
+	body["events"] = map[string]any{
+		"published":   published,
+		"evictions":   evictions,
+		"subscribers": live,
+		"requests":    s.counts.events.Value(),
+	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		walBody := map[string]any{
+			"dir":            s.wal.Dir(),
+			"appended_lsn":   uint64(ws.AppendedLSN),
+			"durable_lsn":    uint64(ws.DurableLSN),
+			"lag_records":    uint64(ws.AppendedLSN - ws.DurableLSN),
+			"lag_bytes":      ws.AppendedBytes - ws.DurableBytes,
+			"segments":       ws.Segments,
+			"applied_lsn":    s.inc.AppliedLSN(),
+			"appended_bytes": ws.AppendedBytes,
+		}
+		if s.walReplay != nil {
+			walBody["replay"] = s.walReplay
+		}
+		body["wal"] = walBody
 	}
 	if rep := s.lastRun.Load(); rep != nil {
 		body["last_run"] = map[string]any{

@@ -1,0 +1,311 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"afforest/internal/graph"
+)
+
+// Options tunes a Log. The zero value is production-reasonable.
+type Options struct {
+	// SegmentBytes is the rotation threshold: a record that would push
+	// the active segment past it opens a fresh segment first
+	// (0 = default 64MiB). A single record larger than the threshold
+	// still lands whole — segments may exceed it by one record.
+	SegmentBytes int64
+	// NoSync skips the per-append fsync. Appends then become durable at
+	// the OS's leisure: a crash can lose acknowledged batches, which is
+	// exactly what the wal_lag anomaly rule watches (DurableLSN falls
+	// behind AppendedLSN). Group commit — one fsync per coalesced batch
+	// — is the default.
+	NoSync bool
+	// FS substitutes the filesystem (nil = the real one). The crashtest
+	// harness injects its journaling in-memory FS here.
+	FS FS
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.SegmentBytes < int64(headerLen)+recordSize(0) {
+		o.SegmentBytes = int64(headerLen) + recordSize(0)
+	}
+	if o.FS == nil {
+		o.FS = OSFS
+	}
+	return o
+}
+
+// Stats is a point-in-time view of the log's durability position,
+// readable concurrently with appends (all fields are maintained
+// atomically). The appended/durable split is the write-behind exposure:
+// with NoSync the durable markers trail until the next explicit Sync.
+type Stats struct {
+	AppendedLSN   LSN   // last record written
+	DurableLSN    LSN   // last record known fsynced
+	AppendedBytes int64 // total record bytes written (headers included)
+	DurableBytes  int64 // record bytes covered by an fsync
+	Segments      int64 // live segment files
+}
+
+// Log is an append-only segment-rotating write-ahead log of edge
+// batches. One goroutine appends at a time (the serve layer's batcher);
+// Stats and the LSN accessors are safe from any goroutine.
+type Log struct {
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	cur     File
+	curSize int64
+	nextLSN LSN
+	buf     []byte
+	closed  bool
+
+	appendedLSN   atomic.Uint64
+	durableLSN    atomic.Uint64
+	appendedBytes atomic.Int64
+	durableBytes  atomic.Int64
+	segments      atomic.Int64
+}
+
+// Open recovers the log at dir and prepares it for appending: every
+// record with LSN > after is replayed through apply in order, the torn
+// tail a power cut left is truncated away, and the next append is
+// assigned max(lastLSN, after)+1. The returned ReplayStats carries the
+// crash/divergence verdict; Open succeeds even for a diverged log (the
+// snapshot already covers the damaged range or the caller wants the
+// service up regardless) — callers decide how loudly to alarm.
+func Open(dir string, after LSN, apply func(lsn LSN, edges []graph.Edge) error, opt Options) (*Log, ReplayStats, error) {
+	opt = opt.withDefaults()
+	if err := opt.FS.MkdirAll(dir); err != nil {
+		return nil, ReplayStats{}, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	st, err := Replay(opt.FS, dir, after, apply)
+	if err != nil {
+		return nil, st, err
+	}
+	l := &Log{dir: dir, opt: opt, nextLSN: max(st.LastLSN, after) + 1}
+	segs, err := listSegments(opt.FS, dir)
+	if err != nil {
+		return nil, st, err
+	}
+	l.segments.Store(int64(len(segs)))
+	if len(segs) > 0 {
+		tail := segs[len(segs)-1]
+		switch {
+		case st.TailValidBytes < int64(headerLen):
+			// Not even the header survived; the file carries no
+			// information. Drop it and start fresh below.
+			if err := opt.FS.Remove(tail.path); err != nil {
+				return nil, st, err
+			}
+			l.segments.Add(-1)
+		case tail.base+LSN(tailRecords(st, tail.base)) == l.nextLSN:
+			// The tail continues exactly at our next LSN: truncate any
+			// torn bytes and append in place.
+			f, err := opt.FS.OpenAppend(tail.path, st.TailValidBytes)
+			if err != nil {
+				return nil, st, err
+			}
+			l.cur, l.curSize = f, st.TailValidBytes
+		default:
+			// A watermark jump (snapshot newer than the readable log)
+			// would break the tail's LSN continuity. Cut the torn bytes
+			// so future scans see a clean segment, then rotate.
+			f, err := opt.FS.OpenAppend(tail.path, st.TailValidBytes)
+			if err != nil {
+				return nil, st, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, st, err
+			}
+		}
+	}
+	l.appendedLSN.Store(uint64(l.nextLSN - 1))
+	l.durableLSN.Store(uint64(l.nextLSN - 1))
+	return l, st, nil
+}
+
+// tailRecords returns how many records the final segment (base tail)
+// holds, derived from the scan's last-seen LSN.
+func tailRecords(st ReplayStats, tail LSN) uint64 {
+	if st.LastLSN < tail {
+		return 0
+	}
+	return uint64(st.LastLSN-tail) + 1
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// NextLSN returns the LSN the next append will receive.
+func (l *Log) NextLSN() LSN { return LSN(l.appendedLSN.Load()) + 1 }
+
+// Stats returns the current durability position.
+func (l *Log) Stats() Stats {
+	return Stats{
+		AppendedLSN:   LSN(l.appendedLSN.Load()),
+		DurableLSN:    LSN(l.durableLSN.Load()),
+		AppendedBytes: l.appendedBytes.Load(),
+		DurableBytes:  l.durableBytes.Load(),
+		Segments:      l.segments.Load(),
+	}
+}
+
+// Append writes one batch as a single record and, unless NoSync is set,
+// fsyncs before returning — the group-commit point: when Append
+// returns, the batch is durable and every request coalesced into it may
+// be acknowledged. Returns the record's LSN.
+func (l *Log) Append(edges []graph.Edge) (LSN, error) {
+	if len(edges) > maxRecordEdges {
+		return 0, fmt.Errorf("wal: batch of %d edges exceeds the %d-edge record bound", len(edges), maxRecordEdges)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	lsn := l.nextLSN
+	l.buf = appendRecord(l.buf[:0], lsn, edges)
+	if l.cur != nil && l.curSize > int64(headerLen) && l.curSize+int64(len(l.buf)) > l.opt.SegmentBytes {
+		if err := l.closeCurLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if l.cur == nil {
+		if err := l.openSegmentLocked(lsn); err != nil {
+			return 0, err
+		}
+	}
+	n, err := l.cur.Write(l.buf)
+	l.curSize += int64(n)
+	l.appendedBytes.Add(int64(n))
+	if err != nil {
+		return 0, fmt.Errorf("wal: appending lsn %d: %w", lsn, err)
+	}
+	l.nextLSN++
+	l.appendedLSN.Store(uint64(lsn))
+	if !l.opt.NoSync {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// Sync fsyncs the active segment, advancing the durable markers. A
+// no-op when everything appended is already durable.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cur == nil {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.cur.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.durableLSN.Store(l.appendedLSN.Load())
+	l.durableBytes.Store(l.appendedBytes.Load())
+	return nil
+}
+
+// Close fsyncs and closes the active segment. Further appends fail.
+// Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.cur == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.closeCurNoCreate(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// closeCurLocked syncs and closes the active segment ahead of a
+// rotation.
+func (l *Log) closeCurLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	return l.closeCurNoCreate()
+}
+
+func (l *Log) closeCurNoCreate() error {
+	err := l.cur.Close()
+	l.cur, l.curSize = nil, 0
+	if err != nil {
+		return fmt.Errorf("wal: closing segment: %w", err)
+	}
+	return nil
+}
+
+// openSegmentLocked creates the segment whose first record will be
+// base.
+func (l *Log) openSegmentLocked(base LSN) error {
+	path := filepath.Join(l.dir, segmentName(base))
+	f, err := l.opt.FS.Create(path)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	hdr := appendHeader(nil, base)
+	n, err := f.Write(hdr)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	l.cur, l.curSize = f, int64(n)
+	l.appendedBytes.Add(int64(n))
+	l.segments.Add(1)
+	if err := l.opt.FS.SyncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: fsync dir: %w", err)
+	}
+	return nil
+}
+
+// TruncateThrough removes every segment whose records all carry
+// LSN <= lsn — the snapshot-anchored truncation: after a label snapshot
+// records watermark W, history at or below W is redundant. The active
+// (final) segment is never removed. Returns how many segments were
+// deleted.
+func (l *Log) TruncateThrough(lsn LSN) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, err := listSegments(l.opt.FS, l.dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i := 0; i+1 < len(segs); i++ {
+		// A segment's records end at the next segment's base minus one.
+		if segs[i+1].base-1 > lsn {
+			break
+		}
+		if err := l.opt.FS.Remove(segs[i].path); err != nil {
+			return removed, err
+		}
+		removed++
+		l.segments.Add(-1)
+	}
+	if removed > 0 {
+		if err := l.opt.FS.SyncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
