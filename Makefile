@@ -16,7 +16,7 @@ test:
 # the race matrix over the schedule-sensitive packages, a smoke run of
 # every fuzz target, the multi-process cluster smoke, and a run-vs-self
 # pass of the perf gate. This is what CI should run.
-check: vet build test race-matrix fuzz-smoke wal-smoke cluster-smoke perfgate-smoke
+check: vet build test race-matrix fuzz-smoke wal-smoke cluster-smoke provenance-smoke perfgate-smoke
 
 # The race detector only sees interleavings that happen, so the
 # schedule-sensitive packages run under three thread budgets: 1 (pure
@@ -29,7 +29,7 @@ race-matrix:
 		echo "== race matrix: GOMAXPROCS=$$p =="; \
 		GOMAXPROCS=$$p $(GO) test -race -count=1 \
 			./internal/concurrent ./internal/core ./internal/serve ./internal/testkit \
-			./internal/cluster ./internal/wal \
+			./internal/cluster ./internal/wal ./internal/provenance \
 			|| exit 1; \
 	done
 
@@ -60,6 +60,14 @@ wal-smoke:
 # snapshot handoff.
 cluster-smoke:
 	$(GO) test -run='^TestClusterSmoke$$' -count=1 -v ./cmd/ccserve
+
+# provenance-smoke is the witness-path e2e: a durable provenance-enabled
+# ccserve under concurrent writers, every live /explain answer verified
+# as a genuine path of acknowledged edges, then a restart purely from
+# the WAL after which the canonical forest dump and every explanation
+# must come back byte-identical.
+provenance-smoke:
+	$(GO) test -run='^TestProvenanceSmoke$$' -count=1 -v ./cmd/ccserve
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -94,4 +102,4 @@ perfgate-smoke:
 		rm -f $$tmp || exit 1; \
 	done
 
-.PHONY: all build vet test check race-matrix fuzz-smoke wal-smoke cluster-smoke bench perfgate perfgate-smoke
+.PHONY: all build vet test check race-matrix fuzz-smoke wal-smoke cluster-smoke provenance-smoke bench perfgate perfgate-smoke

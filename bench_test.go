@@ -303,6 +303,52 @@ func TestNilObserverOverheadGuard(t *testing.T) {
 		func() { baselineAfforest(g, opt) })
 }
 
+// baselineIncrementalStream is a frozen copy of Incremental.AddEdges's
+// hot loop — same batching, same LinkRecord primitive, same merge
+// accounting — with no merge-observer load anywhere. The provenance
+// hook's off path must cost nothing against it.
+func baselineIncrementalStream(n int, edges []graph.Edge, parallelism, batch int) int64 {
+	p := core.NewParent(n)
+	var total int64
+	for lo := 0; lo < len(edges); lo += batch {
+		chunk := edges[lo:min(lo+batch, len(edges))]
+		var merged atomic.Int64
+		concurrent.ForRange(len(chunk), parallelism, 256, func(clo, chi, _ int) {
+			var local int64
+			for _, e := range chunk[clo:chi] {
+				if e.U != e.V && core.LinkRecord(p, e.U, e.V) {
+					local++
+				}
+			}
+			if local > 0 {
+				merged.Add(local)
+			}
+		})
+		total += merged.Load()
+	}
+	return total
+}
+
+// TestNilMergeObserverOverheadGuard is the provenance tripwire: with no
+// MergeObserver installed, streaming a graph through
+// Incremental.AddEdges must stay within 2% of the frozen baseline
+// above. The hook's off path is one atomic pointer load per batch plus
+// a hoisted nil check per merge — a breach means someone put forest
+// work on the unobserved write path.
+func TestNilMergeObserverOverheadGuard(t *testing.T) {
+	g := suiteGraphAt("kron", 16)()
+	edges := g.Edges()
+	const batch = 4096
+	overheadGuard(t, "nil-MergeObserver AddEdges",
+		func() {
+			inc := core.NewIncremental(g.NumVertices())
+			for lo := 0; lo < len(edges); lo += batch {
+				inc.AddEdges(edges[lo:min(lo+batch, len(edges))], 0, nil)
+			}
+		},
+		func() { baselineIncrementalStream(g.NumVertices(), edges, 0, batch) })
+}
+
 // BenchmarkAfforestFlight is BenchmarkAfforestKron18 with the flight
 // recorder attached to both the worker pool (per-chunk events) and the
 // observer chain (phase events) — the full black-box-recording path.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"afforest/internal/serve"
+	"afforest/internal/stats"
 )
 
 // loadConfig parameterizes the -loadtest workload.
@@ -31,7 +32,9 @@ type loadReport struct {
 	Writes      int64
 	Edges       int64 // edges submitted across all writes
 	Errors      int64
-	Scrapes     int64          // successful /metrics scrapes during the run
+	Scrapes     int64 // successful /metrics scrapes during the run
+	Explains    int64 // /explain + /history queries (provenance targets only)
+	ExplainLat  stats.LatencySummary
 	ServerStats map[string]any // decoded /stats at the end of the run
 }
 
@@ -39,12 +42,17 @@ func (r loadReport) ops() int64 { return r.Reads + r.Writes }
 
 func (r loadReport) String() string {
 	sec := r.Elapsed.Seconds()
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"loadtest: %d ops in %v (%.0f ops/s): %d reads (%.0f/s), %d writes (%.0f/s, %d edges, %.0f edges/s), %d errors, %d metric scrapes",
 		r.ops(), r.Elapsed.Round(time.Millisecond), float64(r.ops())/sec,
 		r.Reads, float64(r.Reads)/sec,
 		r.Writes, float64(r.Writes)/sec, r.Edges, float64(r.Edges)/sec,
 		r.Errors, r.Scrapes)
+	if r.Explains > 0 {
+		s += fmt.Sprintf("; %d provenance queries (client p50=%v p99=%v)",
+			r.Explains, r.ExplainLat.P50.Round(time.Microsecond), r.ExplainLat.P99.Round(time.Microsecond))
+	}
+	return s
 }
 
 // loadtestMain resolves the target (spinning up an in-process server
@@ -78,6 +86,10 @@ func loadtestMain(target, in, genName, restore string, n, scale, deg int, seed u
 	}
 	if b, ok := report.ServerStats["batching"].(map[string]any); ok {
 		fmt.Printf("server batching: %v batches, avg %.1f edges/batch\n", b["batches"], toFloat(b["avg_batch"]))
+	}
+	if pv, ok := report.ServerStats["provenance"].(map[string]any); ok {
+		fmt.Printf("server provenance: %.0f merge records (%.0f ghost), %.0f bytes\n",
+			toFloat(pv["records"]), toFloat(pv["ghost_records"]), toFloat(pv["memory_bytes"]))
 	}
 	return nil
 }
@@ -116,7 +128,14 @@ func runLoadtest(target string, lc loadConfig) (loadReport, error) {
 		return loadReport{}, fmt.Errorf("target serves %d vertices; need at least 2", n)
 	}
 
-	var reads, writes, edges, errs, scrapes atomic.Int64
+	// Probe once for the provenance surface: when the target serves
+	// /explain, the read mix includes witness and history queries, timed
+	// client-side on their own recorder (they walk the merge forest, so
+	// their latency profile is interesting apart from /connected's).
+	provOn := drainGet(&http.Client{}, target+"/explain?u=0&v=1") == nil
+	explainLat := stats.NewLatencyRecorder(0)
+
+	var reads, writes, edges, errs, scrapes, explains atomic.Int64
 	start := time.Now()
 	deadline := start.Add(lc.Duration)
 	var wg sync.WaitGroup
@@ -152,18 +171,30 @@ func runLoadtest(target string, lc loadConfig) (loadReport, error) {
 			for time.Now().Before(deadline) {
 				if rng.Float64() < lc.ReadFrac {
 					var url string
-					switch r := rng.Intn(10); {
+					prov := false
+					switch r := rng.Intn(12); {
 					case r < 7:
 						url = target + "/connected?u=" + strconv.Itoa(rng.Intn(n)) + "&v=" + strconv.Itoa(rng.Intn(n))
 					case r < 9:
 						url = target + "/component?v=" + strconv.Itoa(rng.Intn(n))
-					default:
+					case r < 10 || !provOn:
 						url = target + "/census?top=5"
+					case r < 11:
+						url = target + "/explain?u=" + strconv.Itoa(rng.Intn(n)) + "&v=" + strconv.Itoa(rng.Intn(n))
+						prov = true
+					default:
+						url = target + "/history?v=" + strconv.Itoa(rng.Intn(n))
+						prov = true
 					}
+					t0 := time.Now()
 					if err := drainGet(client, url); err != nil {
 						errs.Add(1)
 					} else {
 						reads.Add(1)
+						if prov {
+							explains.Add(1)
+							explainLat.Observe(time.Since(t0))
+						}
 					}
 				} else {
 					pairs := make([][2]uint32, lc.Bulk)
@@ -196,8 +227,10 @@ func runLoadtest(target string, lc loadConfig) (loadReport, error) {
 		Reads:   reads.Load(),
 		Writes:  writes.Load(),
 		Edges:   edges.Load(),
-		Errors:  errs.Load(),
-		Scrapes: scrapes.Load(),
+		Errors:     errs.Load(),
+		Scrapes:    scrapes.Load(),
+		Explains:   explains.Load(),
+		ExplainLat: explainLat.Summary(),
 	}
 	var stats map[string]any
 	if err := getInto(target+"/stats", &stats); err == nil {

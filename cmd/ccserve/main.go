@@ -57,6 +57,8 @@ func main() {
 		walSegBytes = flag.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation threshold in bytes")
 		walFsync    = flag.String("wal-fsync", "group", "WAL fsync policy: group (one fsync per coalesced batch, before the ack) | none (OS-paced; acked writes may be lost to a crash, watched by the wal_lag anomaly rule)")
 
+		provenance = flag.Bool("provenance", false, "record the merge forest and serve GET /explain, /history, /debug/provenance (witness paths for every connectivity answer)")
+
 		clusterAddrs = flag.String("cluster", "", "comma-separated ccshard addresses; serve as a sharded cluster router instead of single-node")
 
 		loadtest = flag.Bool("loadtest", false, "run the load generator instead of serving")
@@ -73,6 +75,7 @@ func main() {
 		MaxBatch:      *maxBatch,
 		SnapshotEvery: *snapEach,
 		Parallelism:   *par,
+		Provenance:    *provenance,
 	}
 	switch *walFsync {
 	case "group":

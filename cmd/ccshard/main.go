@@ -38,6 +38,7 @@ func main() {
 		par      = flag.Int("p", 0, "parallelism for batch edge application (0 = GOMAXPROCS)")
 		debug    = flag.String("debug-addr", "", "serve net/http/pprof and /debug/flight on this address (empty = disabled; keep it loopback-only)")
 		flightSz = flag.Int("flight", 0, "flight-recorder ring capacity per worker (0 = default; recorder is always on when -debug-addr is set)")
+		prov     = flag.Bool("provenance", false, "record the merge forest so the router can stitch cross-shard witnesses for GET /explain")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 	fmt.Printf("listening on %s\n", ln.Addr())
 
 	sh := cluster.NewShard(*par)
+	sh.SetProvenance(*prov)
 	if *debug != "" {
 		// Same contract as ccserve's -debug-addr: the flight recorder is
 		// always on when a debug listener exists, and its dump rides out

@@ -14,16 +14,17 @@ type Local struct {
 	Router *Router
 	Addrs  []string
 
-	shards    []*Shard
-	listeners []net.Listener
-	wg        sync.WaitGroup
+	shards     []*Shard
+	listeners  []net.Listener
+	wg         sync.WaitGroup
+	provenance bool
 }
 
 // StartLocal boots numShards in-process shards on loopback listeners
 // and a router partitioned over n vertices. Close tears the whole
 // topology down.
 func StartLocal(n, numShards int, cfg Config) (*Local, error) {
-	l := &Local{}
+	l := &Local{provenance: cfg.Provenance}
 	for i := 0; i < numShards; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -31,6 +32,7 @@ func StartLocal(n, numShards int, cfg Config) (*Local, error) {
 			return nil, fmt.Errorf("cluster: local listener %d: %w", i, err)
 		}
 		sh := NewShard(cfg.Parallelism)
+		sh.SetProvenance(cfg.Provenance)
 		l.shards = append(l.shards, sh)
 		l.listeners = append(l.listeners, ln)
 		l.Addrs = append(l.Addrs, ln.Addr().String())
@@ -58,6 +60,7 @@ func (l *Local) SpawnShard(parallelism int) (string, error) {
 		return "", err
 	}
 	sh := NewShard(parallelism)
+	sh.SetProvenance(l.provenance)
 	l.shards = append(l.shards, sh)
 	l.listeners = append(l.listeners, ln)
 	l.wg.Add(1)

@@ -28,6 +28,7 @@ import (
 
 	"afforest/internal/graph"
 	"afforest/internal/obs"
+	"afforest/internal/provenance"
 )
 
 // Protocol ops. Requests are router→shard; a response reuses the
@@ -45,6 +46,7 @@ const (
 	opPing     byte = 10 // (empty) → (empty)
 	opShutdown byte = 11 // (empty) → (empty), then the shard exits its serve loop
 	opFlight   byte = 12 // (empty) → flightLen u32 | flight JSONL | spansLen u32 | wire-span JSON
+	opExplain  byte = 13 // u u32 | v u32 → found u8 | count u32 | hops (u u32 | v u32 | lsn u64 | ordinal u64 | flags u8)
 	opError    byte = 99 // message string (response only)
 )
 
@@ -76,6 +78,8 @@ func opName(op byte) string {
 		return "opShutdown"
 	case opFlight:
 		return "opFlight"
+	case opExplain:
+		return "opExplain"
 	case opError:
 		return "opError"
 	default:
@@ -329,6 +333,70 @@ func (c *cursor) pairs() []pair {
 		out[i] = pair{V: graph.V(c.u32()), Label: graph.V(c.u32())}
 	}
 	return out
+}
+
+// encodeHops serializes an opExplain witness segment: found flag, hop
+// count, then each hop's endpoints, LSN, ordinal, and a flags byte
+// (bit 0: ghost). The recording shard is implicit — the router stamps
+// hops with the shard it asked.
+func encodeHops(b []byte, found bool, hops []provenance.Hop) []byte {
+	if found {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = putU32(b, uint32(len(hops)))
+	for _, h := range hops {
+		b = putU32(b, uint32(h.U))
+		b = putU32(b, uint32(h.V))
+		b = putU64(b, h.LSN)
+		b = putU64(b, h.Ordinal)
+		var flags byte
+		if h.Ghost {
+			flags |= 1
+		}
+		b = append(b, flags)
+	}
+	return b
+}
+
+// u8 reads one byte.
+func (c *cursor) u8() byte {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+1 > len(c.b) {
+		c.err = fmt.Errorf("cluster: truncated payload at offset %d", c.off)
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+// hops decodes an opExplain response, stamping each hop with the shard
+// that answered.
+func (c *cursor) hops(shard int) (bool, []provenance.Hop) {
+	found := c.u8() != 0
+	count := c.u32()
+	if c.err != nil {
+		return false, nil
+	}
+	const hopWire = 4 + 4 + 8 + 8 + 1
+	if int(count) > (len(c.b)-c.off)/hopWire {
+		c.err = fmt.Errorf("cluster: hop count %d exceeds payload", count)
+		return false, nil
+	}
+	out := make([]provenance.Hop, count)
+	for i := range out {
+		u := graph.V(c.u32())
+		v := graph.V(c.u32())
+		lsn := c.u64()
+		ord := c.u64()
+		flags := c.u8()
+		out[i] = provenance.Hop{U: u, V: v, LSN: lsn, Ordinal: ord, Ghost: flags&1 != 0, Shard: shard}
+	}
+	return found, out
 }
 
 // encodeLabels serializes a label block.

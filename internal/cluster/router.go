@@ -17,6 +17,7 @@ import (
 	"afforest/internal/dist"
 	"afforest/internal/graph"
 	"afforest/internal/obs"
+	"afforest/internal/provenance"
 )
 
 // Config tunes a Router. The zero value is reasonable.
@@ -42,6 +43,11 @@ type Config struct {
 	// shard_lag, ghost_churn, wire_error_burst). nil means a fresh
 	// detector on Registry with default thresholds.
 	Anomaly *obs.AnomalyDetector
+	// Provenance arms merge-forest recording on shards booted by the
+	// local harness (StartLocal/SpawnShard) and enables the router's
+	// GET /explain to stitch cross-shard witnesses. Out-of-process
+	// shards arm themselves via `ccshard -provenance`.
+	Provenance bool
 }
 
 func (c Config) withDefaults() Config {
@@ -155,7 +161,7 @@ type Router struct {
 	exchanges  *obs.Counter
 	exchangeNS *obs.Histogram
 	activeG    *obs.Gauge
-	reqs       struct{ connected, census, edges, stats, metrics, healthz, admin, debug, bad, rejected *obs.Counter }
+	reqs       struct{ connected, census, edges, stats, metrics, healthz, admin, debug, explain, bad, rejected *obs.Counter }
 }
 
 // --- trace plumbing ---
@@ -295,6 +301,7 @@ func NewRouter(addrs []string, n int, cfg Config) (*Router, error) {
 	r.reqs.healthz = h("healthz")
 	r.reqs.admin = h("cluster")
 	r.reqs.debug = h("debug_cluster")
+	r.reqs.explain = h("explain")
 	r.reqs.bad = reg.Counter("afforest_http_errors_total", "Requests answered with a 4xx status.")
 	r.reqs.rejected = reg.Counter("afforest_writes_rejected_total",
 		"Edge submissions refused while the cluster was degraded.")
@@ -328,6 +335,7 @@ func NewRouter(addrs []string, n int, cfg Config) (*Router, error) {
 	r.mux.HandleFunc("POST /cluster/leave", r.handleLeave)
 	r.mux.HandleFunc("POST /cluster/join", r.handleJoin)
 	r.mux.HandleFunc("GET /debug/cluster", r.handleDebugCluster)
+	r.mux.HandleFunc("GET /explain", r.handleExplain)
 	metricsHandler := cfg.Registry.Handler()
 	r.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
 		r.reqs.metrics.Inc()
@@ -783,6 +791,113 @@ func (r *Router) connectedLocked(rc rctx, u, v graph.V) (bool, error) {
 	return lu == lv, nil
 }
 
+// explainAt asks owner(x) for its local forest's witness of (x, y).
+func (r *Router) explainAt(rc rctx, x, y graph.V) (bool, []provenance.Hop, error) {
+	id := r.part.Owner(x)
+	sl := r.slots[id]
+	if sl.conn == nil {
+		return false, nil, fmt.Errorf("cluster: owner shard %d of vertex %d is vacant; witness unavailable", id, x)
+	}
+	resp, sp, err := r.rpcTo(rc, sl, id, 0, opExplain, putU32(putU32(nil, uint32(x)), uint32(y)))
+	if err != nil {
+		return false, nil, err
+	}
+	c := &cursor{b: resp}
+	found, hops := c.hops(id)
+	if err := c.done(); err != nil {
+		r.endRPC(sp, 0, 0, err)
+		return false, nil, err
+	}
+	r.endRPC(sp, int64(len(hops)), 0, nil)
+	return found, hops, nil
+}
+
+// Explain stitches a cluster-wide witness for (u, v) out of per-shard
+// merge-forest segments. Each side's label chain u → l₁ → … → L (the
+// same owner-label walk Resolve does) is expanded step by step: the
+// owner of xᵢ explains (xᵢ, xᵢ₊₁) from its local forest — it applied
+// the merge that produced that label, so its forest connects the pair.
+// Concatenating the u-side segments and the reversed v-side segments
+// (hop endpoints swapped) yields a contiguous path u ⇝ L ⇝ v whose real
+// hops are client-submitted edges and whose ghost hops mark connectivity
+// that crossed the exchange protocol, each stamped with the shard that
+// recorded it. gap is true when the pair is connected but some segment
+// predates provenance (bootstrap load, restore handoff) — the witness
+// would have holes, so none is returned.
+func (r *Router) Explain(u, v graph.V) (connected bool, hops []provenance.Hop, gap bool, err error) {
+	if int(u) >= r.n || int(v) >= r.n {
+		return false, nil, false, fmt.Errorf("cluster: vertex out of range (|V|=%d)", r.n)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rc := r.newRoot("explain_request")
+	connected, hops, gap, err = r.explainLocked(rc, u, v)
+	r.endRoot(rc, err)
+	return connected, hops, gap, err
+}
+
+func (r *Router) explainLocked(rc rctx, u, v graph.V) (bool, []provenance.Hop, bool, error) {
+	lu, err := r.resolveLocked(rc, u)
+	if err != nil {
+		return false, nil, false, err
+	}
+	lv, err := r.resolveLocked(rc, v)
+	if err != nil {
+		return false, nil, false, err
+	}
+	if lu != lv {
+		return false, nil, false, nil
+	}
+	if u == v {
+		return true, []provenance.Hop{}, false, nil
+	}
+	// Expand one side's label chain into witness segments.
+	walk := func(x graph.V) ([]provenance.Hop, bool, error) {
+		var out []provenance.Hop
+		gap := false
+		for {
+			l, err := r.ownerLabel(rc, x)
+			if err != nil {
+				return nil, false, err
+			}
+			if l == x {
+				return out, gap, nil
+			}
+			found, seg, err := r.explainAt(rc, x, l)
+			if err != nil {
+				return nil, false, err
+			}
+			if !found {
+				gap = true
+			} else {
+				out = append(out, seg...)
+			}
+			x = l
+		}
+	}
+	up, ugap, err := walk(u)
+	if err != nil {
+		return true, nil, false, err
+	}
+	vp, vgap, err := walk(v)
+	if err != nil {
+		return true, nil, false, err
+	}
+	if ugap || vgap {
+		return true, nil, true, nil
+	}
+	hops := up
+	for i := len(vp) - 1; i >= 0; i-- {
+		h := vp[i]
+		h.U, h.V = h.V, h.U
+		hops = append(hops, h)
+	}
+	if hops == nil {
+		hops = []provenance.Hop{}
+	}
+	return true, hops, false, nil
+}
+
 // GlobalLabels fans out to every slot for its owned-range labels and
 // shortcuts cross-shard label chains to roots — the canonical min-id
 // labeling a single-node run would produce (the final ownership pass of
@@ -1054,6 +1169,40 @@ func (r *Router) handleConnected(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]any{"u": u, "v": v, "connected": conn})
+}
+
+// handleExplain serves the cluster-wide witness surface — the same JSON
+// shapes as the single-node /explain, with each hop additionally tagged
+// by the shard that recorded it and ghost:true on exchange-learned hops.
+func (r *Router) handleExplain(w http.ResponseWriter, req *http.Request) {
+	r.reqs.explain.Inc()
+	u, err := r.vertexParam(req, "u")
+	if err != nil {
+		r.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	v, err := r.vertexParam(req, "v")
+	if err != nil {
+		r.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	conn, hops, gap, err := r.Explain(u, v)
+	if err != nil {
+		r.httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	body := map[string]any{"u": u, "v": v, "connected": conn}
+	switch {
+	case conn && !gap:
+		body["witness"] = hops
+		body["hops"] = len(hops)
+	case conn:
+		body["witness"] = nil
+		body["reason"] = "connected, but the cluster witness is incomplete: a segment predates provenance (bootstrap load or restore handoff)"
+	default:
+		body["witness"] = nil
+	}
+	writeJSON(w, body)
 }
 
 func (r *Router) handleCensus(w http.ResponseWriter, req *http.Request) {

@@ -12,6 +12,7 @@ import (
 	"afforest/internal/dist"
 	"afforest/internal/graph"
 	"afforest/internal/obs"
+	"afforest/internal/provenance"
 )
 
 // Shard is one cluster member: it owns a contiguous vertex range of the
@@ -51,6 +52,19 @@ type Shard struct {
 	wire   *obs.WireTrace
 	phases *obs.RingSink
 	flight *obs.FlightRecorder
+
+	// Provenance. When enabled (SetProvenance before Serve), initialize
+	// builds a merge-forest over the full vertex space and installs it on
+	// the local π. Edges applied via opEdges record as real input edges
+	// (including ghost copies of cut edges — those ARE client-submitted
+	// edges); exchange-protocol label merges (ingest/absorb) record
+	// through the ghost view, so cross-shard witness hops are honestly
+	// tagged as connectivity learned from a peer, not as input edges.
+	// Every inc-mutating op holds mu, so swapping the installed observer
+	// around ingest/absorb cannot race a concurrent opEdges.
+	provenance bool
+	prov       *provenance.Forest
+	ghost      *provenance.GhostView
 }
 
 // NewShard returns an uninitialized shard; the router's opInit
@@ -72,6 +86,23 @@ func (sh *Shard) SetFlight(f *obs.FlightRecorder) {
 	sh.mu.Lock()
 	sh.flight = f
 	sh.mu.Unlock()
+}
+
+// SetProvenance arms merge-forest recording; takes effect at the next
+// opInit (the forest is sized by the partition's vertex count). Call
+// before Serve; cmd/ccshard wires it from -provenance.
+func (sh *Shard) SetProvenance(on bool) {
+	sh.mu.Lock()
+	sh.provenance = on
+	sh.mu.Unlock()
+}
+
+// Provenance returns the shard's merge-forest (nil when disabled or not
+// yet initialized).
+func (sh *Shard) Provenance() *provenance.Forest {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.prov
 }
 
 // Flight returns the attached flight recorder (nil when unset).
@@ -348,6 +379,18 @@ func (sh *Shard) handle(op byte, payload []byte, sp *srvSpan) (byte, []byte, err
 		b = putU64(b, uint64(edges))
 		return op, encodeLabels(b, labels), nil
 
+	case opExplain:
+		u := graph.V(c.u32())
+		v := graph.V(c.u32())
+		if err := c.done(); err != nil {
+			return 0, nil, err
+		}
+		found, hops, err := sh.explain(u, v)
+		if err != nil {
+			return 0, nil, err
+		}
+		return op, encodeHops(nil, found, hops), nil
+
 	case opRestore:
 		lo, hi := int(c.u32()), int(c.u32())
 		edges := int64(c.u64())
@@ -385,6 +428,14 @@ func (sh *Shard) initialize(n, numShards, id int) error {
 	sh.inc = core.NewIncremental(n)
 	sh.refs = make(map[graph.V]struct{})
 	sh.edges = 0
+	if sh.provenance {
+		sh.prov = provenance.NewForest(n)
+		sh.prov.SetShard(id)
+		sh.ghost = sh.prov.GhostRecorder()
+		sh.inc.SetMergeObserver(sh.prov)
+	} else {
+		sh.prov, sh.ghost = nil, nil
+	}
 	return nil
 }
 
@@ -490,6 +541,7 @@ func (sh *Shard) ingest(pairs []pair) (int64, []pair, error) {
 	if err := sh.requireInit(); err != nil {
 		return 0, nil, err
 	}
+	defer sh.ghostObserver()()
 	var merged int64
 	replies := make([]pair, len(pairs))
 	for i, p := range pairs {
@@ -515,6 +567,7 @@ func (sh *Shard) absorb(pairs []pair) (int64, error) {
 	if err := sh.requireInit(); err != nil {
 		return 0, err
 	}
+	defer sh.ghostObserver()()
 	var merged int64
 	for _, p := range pairs {
 		if int(p.V) >= sh.n || int(p.Label) >= sh.n {
@@ -527,6 +580,37 @@ func (sh *Shard) absorb(pairs []pair) (int64, error) {
 		}
 	}
 	return merged, nil
+}
+
+// ghostObserver swaps the forest's ghost view in as the π observer for
+// the duration of an exchange-protocol op (ingest/absorb): the (v,label)
+// pairs those apply are connectivity learned from a peer, not client
+// edges, and witness hops through them must say so. Caller holds mu —
+// every other inc mutation also holds mu, so the swap cannot race.
+// Returns the restore func; a no-op closure when provenance is off.
+func (sh *Shard) ghostObserver() func() {
+	if sh.prov == nil {
+		return func() {}
+	}
+	sh.inc.SetMergeObserver(sh.ghost)
+	return func() { sh.inc.SetMergeObserver(sh.prov) }
+}
+
+// explain answers opExplain: the local forest's witness path for (u,v).
+func (sh *Shard) explain(u, v graph.V) (bool, []provenance.Hop, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.requireInit(); err != nil {
+		return false, nil, err
+	}
+	if int(u) >= sh.n || int(v) >= sh.n {
+		return false, nil, fmt.Errorf("cluster: explain pair {%d,%d} out of range (|V|=%d)", u, v, sh.n)
+	}
+	if sh.prov == nil {
+		return false, nil, errors.New("cluster: provenance is disabled on this shard")
+	}
+	hops, ok := sh.prov.Explain(u, v)
+	return ok, hops, nil
 }
 
 // query returns find(v). The router asks the owner, so v is usually
@@ -604,6 +688,12 @@ func (sh *Shard) restore(lo, hi int, edges int64, labels []graph.V) error {
 	}
 	sh.inc = inc
 	sh.edges = edges
+	if sh.prov != nil {
+		// A restored member starts with an empty forest: the snapshot
+		// carries labels, not edge history, so pre-handoff witnesses are
+		// gone. Explain reports them as the documented bootstrap gap.
+		sh.inc.SetMergeObserver(sh.prov)
+	}
 	sh.refs = make(map[graph.V]struct{})
 	for _, l := range labels {
 		sh.noteRemote(l)

@@ -24,6 +24,41 @@ type Incremental struct {
 	// layer (MarkApplied after each flush, and during replay); 0 means
 	// no logged history has been applied.
 	appliedLSN atomic.Uint64
+	// mergeOb, when set, receives one call per successful hook CAS with
+	// the causal input edge. The off path is a single atomic load per
+	// edge (hoisted to one per batch in AddEdges), the same discipline as
+	// the nil-Observer fast path, guarded by the overhead tripwires.
+	mergeOb atomic.Pointer[MergeObserver]
+}
+
+// MergeObserver observes component merges at their source: one call per
+// successful hook CAS, carrying the causal input edge {u, v} that
+// performed it and the WAL LSN of the batch it rode in (0 when the
+// caller has no log). Calls arrive concurrently from every goroutine
+// streaming edges; implementations synchronize internally. The
+// provenance merge-forest hangs off this hook.
+type MergeObserver interface {
+	OnMerge(u, v graph.V, lsn uint64)
+}
+
+// SetMergeObserver installs ob (nil removes it). Install before
+// streaming edges whose merges must be observed; merges performed while
+// no observer is set are not replayed to a later one.
+func (inc *Incremental) SetMergeObserver(ob MergeObserver) {
+	if ob == nil {
+		inc.mergeOb.Store(nil)
+		return
+	}
+	inc.mergeOb.Store(&ob)
+}
+
+// mergeObserver returns the installed observer, or nil. One atomic
+// load — callers on batch paths hoist it out of their loops.
+func (inc *Incremental) mergeObserver() MergeObserver {
+	if p := inc.mergeOb.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // NewIncremental returns a structure over n isolated vertices.
@@ -41,11 +76,21 @@ func (inc *Incremental) NumVertices() int { return len(inc.p) }
 // use; each successful merge is counted exactly once (the hook CAS has
 // a unique winner).
 func (inc *Incremental) AddEdge(u, v graph.V) bool {
+	return inc.AddEdgeAt(u, v, 0)
+}
+
+// AddEdgeAt is AddEdge carrying the WAL LSN of the record the edge
+// rode in, handed through to the merge observer so provenance can stamp
+// the causal edge with its durable position. lsn 0 means "not logged".
+func (inc *Incremental) AddEdgeAt(u, v graph.V, lsn uint64) bool {
 	if u == v {
 		return false
 	}
 	if LinkRecord(inc.p, u, v) {
 		inc.components.Add(-1)
+		if mo := inc.mergeObserver(); mo != nil {
+			mo.OnMerge(u, v, lsn)
+		}
 		return true
 	}
 	return false
@@ -58,6 +103,14 @@ func (inc *Incremental) AddEdge(u, v graph.V) bool {
 // edge_batch_apply span carrying the batch size and merge count — this
 // is the span the serve layer's batcher emits per flush.
 func (inc *Incremental) AddEdges(edges []graph.Edge, parallelism int, ob obs.Observer) int64 {
+	return inc.AddEdgesAt(edges, 0, parallelism, ob)
+}
+
+// AddEdgesAt is AddEdges carrying the WAL LSN of the record the batch
+// rode in (every edge of a coalesced batch shares one log record). The
+// merge observer is loaded once per batch — the disabled path pays one
+// atomic load per flush, not per edge.
+func (inc *Incremental) AddEdgesAt(edges []graph.Edge, lsn uint64, parallelism int, ob obs.Observer) int64 {
 	if len(edges) == 0 {
 		return 0
 	}
@@ -65,18 +118,40 @@ func (inc *Incremental) AddEdges(edges []graph.Edge, parallelism int, ob obs.Obs
 	if ob != nil {
 		span = ob.BeginPhase(obs.PhaseEdgeBatch)
 	}
+	mo := inc.mergeObserver()
+	p := inc.p // hoist the slice header out of the hot loop (the CAS barrier in LinkRecord blocks re-hoisting a field load)
 	var merged atomic.Int64
-	concurrent.ForRange(len(edges), parallelism, 256, func(lo, hi, _ int) {
+	// Two loop bodies, selected once per batch: the observed variant
+	// carries an indirect call site inside the merge branch, which forces
+	// register spills around every LinkRecord even when mo is nil — so
+	// the off path gets a loop with no observer code at all (the 2%
+	// tripwire in bench_test.go holds it there).
+	body := func(lo, hi, _ int) {
 		var local int64
 		for _, e := range edges[lo:hi] {
-			if e.U != e.V && LinkRecord(inc.p, e.U, e.V) {
+			if e.U != e.V && LinkRecord(p, e.U, e.V) {
 				local++
 			}
 		}
 		if local > 0 {
 			merged.Add(local)
 		}
-	})
+	}
+	if mo != nil {
+		body = func(lo, hi, _ int) {
+			var local int64
+			for _, e := range edges[lo:hi] {
+				if e.U != e.V && LinkRecord(p, e.U, e.V) {
+					local++
+					mo.OnMerge(e.U, e.V, lsn)
+				}
+			}
+			if local > 0 {
+				merged.Add(local)
+			}
+		}
+	}
+	concurrent.ForRange(len(edges), parallelism, 256, body)
 	m := merged.Load()
 	if m > 0 {
 		inc.components.Add(-m)
@@ -95,12 +170,21 @@ func (inc *Incremental) AddEdges(edges []graph.Edge, parallelism int, ob obs.Obs
 // roots merged (winner survives, loser was hooked under it), for
 // callers that publish merge events. Safe for concurrent use.
 func (inc *Incremental) AddEdgeMerge(u, v graph.V) (winner, loser graph.V, merged bool) {
+	return inc.AddEdgeMergeAt(u, v, 0)
+}
+
+// AddEdgeMergeAt is AddEdgeMerge carrying the WAL LSN handed to the
+// merge observer alongside the causal edge.
+func (inc *Incremental) AddEdgeMergeAt(u, v graph.V, lsn uint64) (winner, loser graph.V, merged bool) {
 	if u == v {
 		return 0, 0, false
 	}
 	winner, loser, merged = LinkRecordMerge(inc.p, u, v)
 	if merged {
 		inc.components.Add(-1)
+		if mo := inc.mergeObserver(); mo != nil {
+			mo.OnMerge(u, v, lsn)
+		}
 	}
 	return winner, loser, merged
 }

@@ -36,6 +36,9 @@ const (
 	// Durability rules, fed by the serve layer's WAL.
 	RuleWALLag           = "wal_lag"
 	RuleReplayDivergence = "replay_divergence"
+
+	// Provenance rule, fed by /explain witness-path depths.
+	RuleExplainDepthBlowup = "explain_depth_blowup"
 )
 
 // AnomalyConfig bounds the detector's rules. The zero value means
@@ -92,6 +95,15 @@ type AnomalyConfig struct {
 	// Defaults 16MiB and 4096 records.
 	WALLagBytes   int64
 	WALLagRecords int64
+	// WitnessDepthFactor fires explain_depth_blowup when one witness
+	// path's hop count exceeds this multiple of the running mean depth —
+	// the merge-forest's union-by-size keeps typical witnesses short, so
+	// a blowup means a pathological merge chain (or a forest rebuilt from
+	// an adversarial replay order). Default 8.
+	WitnessDepthFactor float64
+	// WitnessDepthWarmup is how many /explain answers feed the running
+	// mean before the blowup rule arms. Default 16.
+	WitnessDepthWarmup int
 	// MinInterval rate-limits each rule: after a firing, the same rule
 	// stays quiet for this long. Default 1s; negative disables the
 	// limit (tests).
@@ -144,6 +156,12 @@ func (c AnomalyConfig) withDefaults() AnomalyConfig {
 	if c.WALLagRecords == 0 {
 		c.WALLagRecords = 4096
 	}
+	if c.WitnessDepthFactor == 0 {
+		c.WitnessDepthFactor = 8
+	}
+	if c.WitnessDepthWarmup == 0 {
+		c.WitnessDepthWarmup = 16
+	}
 	if c.MinInterval == 0 {
 		c.MinInterval = time.Second
 	}
@@ -189,6 +207,8 @@ type AnomalyDetector struct {
 	stallRun  int
 	latMean   float64
 	latN      int
+	depthMean float64
+	depthN    int
 
 	// cluster-rule state
 	exchHist   []float64   // trailing exchange round counts (non-fired)
@@ -422,6 +442,37 @@ func (d *AnomalyDetector) ObserveLatency(ns float64) {
 		d.fire(RuleLatencySpike,
 			fmt.Sprintf("batch latency %.0fns is %.1fx the running mean %.0fns", ns, ns/mean, mean),
 			ns, d.cfg.LatencyFactor*mean)
+	}
+}
+
+// ObserveWitnessDepth feeds the explain-depth-blowup rule with one
+// /explain answer's witness hop count. Same EWMA shape as the latency
+// rule: arms after WitnessDepthWarmup answers, fires when one witness
+// runs more than WitnessDepthFactor times the running mean, and keeps
+// fired samples out of the baseline so a sustained blowup stays loud.
+func (d *AnomalyDetector) ObserveWitnessDepth(depth int) {
+	if depth <= 0 {
+		return
+	}
+	x := float64(depth)
+	d.mu.Lock()
+	mean, n := d.depthMean, d.depthN
+	armed := n >= d.cfg.WitnessDepthWarmup && mean > 0
+	blowup := armed && x > d.cfg.WitnessDepthFactor*mean
+	if !blowup {
+		if n == 0 {
+			d.depthMean = x
+		} else {
+			d.depthMean = mean + (x-mean)/16
+		}
+		d.depthN = n + 1
+	}
+	d.mu.Unlock()
+
+	if blowup {
+		d.fire(RuleExplainDepthBlowup,
+			fmt.Sprintf("witness path of %d hops is %.1fx the running mean depth %.1f", depth, x/mean, mean),
+			x, d.cfg.WitnessDepthFactor*mean)
 	}
 }
 

@@ -193,14 +193,14 @@ func (b *edgeBatcher) flush(batch []*submission) {
 			var local []MergeEvent
 			for i := lo; i < hi; i++ {
 				e := flat[i]
-				winner, loser, merged := b.inc.AddEdgeMerge(e.u, e.v)
+				winner, loser, merged := b.inc.AddEdgeMergeAt(e.u, e.v, lsn)
 				if !merged {
 					continue
 				}
 				atomic.AddInt64(&mergedPer[e.sub], 1)
 				if collect {
 					local = append(local, MergeEvent{
-						LSN: lsn, Winner: winner, Loser: loser,
+						LSN: lsn, U: e.u, V: e.v, Winner: winner, Loser: loser,
 						WinnerSize: b.sizeOf(winner), LoserSize: b.sizeOf(loser),
 					})
 				}

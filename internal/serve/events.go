@@ -17,8 +17,14 @@ import (
 // winner_size in particular may already include loser's vertices if
 // the snapshot refreshed between the merge and the lookup.
 type MergeEvent struct {
-	Seq        uint64  `json:"seq"`
-	LSN        uint64  `json:"lsn,omitempty"` // WAL record that carried the edge (0 without a WAL)
+	Seq uint64 `json:"seq"`
+	LSN uint64 `json:"lsn,omitempty"` // WAL record that carried the edge (0 without a WAL)
+	// U, V is the causal input edge: the exact submitted edge whose hook
+	// CAS performed this merge. Unlike winner/loser (roots, artifacts of
+	// the union-find's internal state), the causal edge is stable across
+	// replays and is what provenance witness paths are made of.
+	U          graph.V `json:"u"`
+	V          graph.V `json:"v"`
 	Winner     graph.V `json:"winner"`
 	Loser      graph.V `json:"loser"`
 	WinnerSize int     `json:"winner_size"`

@@ -112,6 +112,7 @@ func TestEventsStreamDeliversMerges(t *testing.T) {
 		t.Fatalf("received %d events, want %d", len(got), merges)
 	}
 	seen := map[uint64]bool{}
+	causal := map[[2]graph.V]bool{}
 	for _, ev := range got {
 		if ev.Winner >= ev.Loser {
 			t.Fatalf("event winner %d not below loser %d", ev.Winner, ev.Loser)
@@ -123,6 +124,14 @@ func TestEventsStreamDeliversMerges(t *testing.T) {
 			t.Fatalf("duplicate seq %d", ev.Seq)
 		}
 		seen[ev.Seq] = true
+		causal[[2]graph.V{ev.U, ev.V}] = true
+	}
+	// Every event carries its causal input edge — the exact submitted
+	// edge whose CAS merged, not the union-find's internal roots.
+	for i := 0; i < merges; i++ {
+		if !causal[[2]graph.V{graph.V(2 * i), graph.V(2*i + 1)}] {
+			t.Fatalf("no event carried causal edge {%d,%d}; saw %v", 2*i, 2*i+1, causal)
+		}
 	}
 }
 
@@ -172,6 +181,11 @@ func TestEventsResumeFromLastID(t *testing.T) {
 	for _, ev := range resumed {
 		if ev.LSN <= firstLSN {
 			t.Fatalf("resume replayed lsn %d at or below Last-Event-ID %d", ev.LSN, firstLSN)
+		}
+		// Ring-replayed frames keep their causal edge too: resumed events
+		// are exactly the second-phase submissions {2i, 2i+1}, i in 5..9.
+		if ev.V != ev.U+1 || ev.U%2 != 0 || ev.U < 10 {
+			t.Fatalf("resumed event carries wrong causal edge {%d,%d}", ev.U, ev.V)
 		}
 	}
 }

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// The provenance query surface:
+//
+//	GET /explain?u=&v=       witness path of real input edges, LSN-stamped
+//	GET /history?v=          component merge timeline (queryable /events)
+//	GET /debug/provenance    forest dump; ?canonical=1 for golden tests
+//
+// All three answer 404 with a hint when the server runs without
+// cfg.Provenance — the forest simply does not exist, and pretending
+// "not connected" would be wrong.
+
+// provenanceDisabled answers for the three handlers when no forest is
+// installed.
+func (s *Server) provenanceDisabled(w http.ResponseWriter) {
+	s.counts.bad.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusNotFound)
+	w.Write([]byte(`{"error":"provenance is disabled; start the server with provenance enabled to record witness paths"}` + "\n"))
+}
+
+// handleExplain answers "why are u and v connected": a witness path of
+// recorded input edges, each hop stamped with the WAL LSN of the batch
+// that carried it. Three shapes:
+//
+//	connected, witness found    — the path, hop count fed to the gauge
+//	                              and the explain_depth_blowup rule
+//	connected, no witness       — π says connected but the forest holds
+//	                              no path: the connection predates
+//	                              provenance (bootstrap labels, edges
+//	                              streamed before enabling). Reported
+//	                              explicitly, never invented.
+//	not connected               — witness:null, connected:false
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.counts.explain.Inc()
+	if s.prov == nil {
+		s.provenanceDisabled(w)
+		return
+	}
+	u, err := s.vertexParam(r, "u")
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	v, err := s.vertexParam(r, "v")
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hops, ok := s.prov.Explain(u, v)
+	connected := s.inc.Connected(u, v)
+	body := map[string]any{
+		"u": u, "v": v,
+		"connected": connected,
+	}
+	switch {
+	case ok:
+		body["witness"] = hops
+		body["hops"] = len(hops)
+		s.provDepth.Set(float64(len(hops)))
+		s.cfg.Anomaly.ObserveWitnessDepth(len(hops))
+	case connected:
+		body["witness"] = nil
+		body["reason"] = "connected, but no witness recorded: the connection predates provenance (bootstrap or pre-enable edges)"
+	default:
+		body["witness"] = nil
+	}
+	writeJSON(w, body)
+	s.readLat.Observe(time.Since(start))
+}
+
+// handleHistory answers "how did v's component form": every recorded
+// merge now inside v's component, in recording order, with pre-merge
+// sizes — the same records /events streamed live, queryable after the
+// fact.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.counts.history.Inc()
+	if s.prov == nil {
+		s.provenanceDisabled(w)
+		return
+	}
+	v, err := s.vertexParam(r, "v")
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	recs := s.prov.History(v)
+	writeJSON(w, map[string]any{
+		"v":       v,
+		"count":   len(recs),
+		"records": recs,
+	})
+	s.readLat.Observe(time.Since(start))
+}
+
+// handleProvenanceDump serves the forest dump. ?canonical=1 restricts
+// the output to replay-deterministic state (golden tests compare two
+// boots from one WAL image byte-for-byte).
+func (s *Server) handleProvenanceDump(w http.ResponseWriter, r *http.Request) {
+	if s.prov == nil {
+		s.provenanceDisabled(w)
+		return
+	}
+	canonical := r.URL.Query().Get("canonical") == "1"
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.prov.Dump(canonical))
+}

@@ -34,6 +34,7 @@ import (
 	"afforest/internal/core"
 	"afforest/internal/graph"
 	"afforest/internal/obs"
+	"afforest/internal/provenance"
 	"afforest/internal/stats"
 	"afforest/internal/wal"
 )
@@ -90,6 +91,15 @@ type Config struct {
 	// SubscriberQueue bounds each SSE subscriber's queue; a client that
 	// falls this far behind is evicted (0 = 256).
 	SubscriberQueue int
+	// Provenance enables the merge-forest: every successful merge records
+	// its causal input edge, GET /explain and GET /history answer from it,
+	// and WAL replay rebuilds it. Off (the default), the write path pays
+	// one atomic nil-check per batch — the overhead guard's regime.
+	Provenance bool
+
+	// prov carries a forest created before New runs (Open builds it ahead
+	// of WAL replay so replayed merges are recorded). Internal hand-off.
+	prov *provenance.Forest
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +151,11 @@ type Server struct {
 	walLSN    *obs.Gauge       // afforest_wal_appended_lsn
 	walDur    *obs.Gauge       // afforest_wal_durable_lsn
 
+	prov        *provenance.Forest // nil unless cfg.Provenance
+	provDepth   *obs.Gauge         // afforest_witness_depth (last /explain)
+	provMem     *obs.Gauge         // afforest_provenance_memory_bytes
+	provRecords *obs.Gauge         // afforest_provenance_records
+
 	edges atomic.Int64 // accepted edges (initial graph + streamed)
 
 	stopSnap chan struct{}
@@ -163,6 +178,8 @@ type counters struct {
 	census    *obs.Counter
 	edges     *obs.Counter
 	events    *obs.Counter
+	explain   *obs.Counter
+	history   *obs.Counter
 	stats     *obs.Counter
 	metrics   *obs.Counter
 	healthz   *obs.Counter
@@ -182,6 +199,8 @@ func newCounters(reg *obs.Registry) counters {
 		census:    h("census"),
 		edges:     h("edges"),
 		events:    h("events"),
+		explain:   h("explain"),
+		history:   h("history"),
 		stats:     h("stats"),
 		metrics:   h("metrics"),
 		healthz:   h("healthz"),
@@ -193,7 +212,8 @@ func newCounters(reg *obs.Registry) counters {
 
 func (c *counters) total() int64 {
 	return c.connected.Value() + c.component.Value() + c.census.Value() +
-		c.edges.Value() + c.stats.Value() + c.healthz.Value()
+		c.edges.Value() + c.explain.Value() + c.history.Value() +
+		c.stats.Value() + c.healthz.Value()
 }
 
 // New wraps an existing incremental structure. bootEdges seeds the
@@ -233,6 +253,25 @@ func New(inc *core.Incremental, bootEdges int64, cfg Config) *Server {
 	pm := obs.NewPoolMetrics(reg)
 	pm.OnJob = cfg.Anomaly.ObserveImbalance
 	concurrent.DefaultPool().SetMetrics(pm)
+	// Provenance: install the merge-forest (or adopt the one Open built
+	// before WAL replay) so every merge from here on records its causal
+	// edge. Gauges make forest growth visible without hitting /debug.
+	if cfg.Provenance {
+		if cfg.prov == nil {
+			cfg.prov = provenance.NewForest(inc.NumVertices())
+			inc.SetMergeObserver(cfg.prov)
+		}
+		s.prov = cfg.prov
+		s.provDepth = reg.Gauge("afforest_witness_depth",
+			"Hop count of the most recent /explain witness path.")
+		s.provMem = reg.Gauge("afforest_provenance_memory_bytes",
+			"Estimated resident size of the provenance merge-forest.")
+		s.provRecords = reg.Gauge("afforest_provenance_records",
+			"Merge records held by the provenance forest.")
+		st := s.prov.StatsNow()
+		s.provMem.Set(float64(st.MemoryBytes))
+		s.provRecords.Set(float64(st.Records))
+	}
 	s.hub = newEventHub(cfg.EventBuffer, cfg.SubscriberQueue)
 	s.wal = cfg.WAL
 	if s.wal != nil {
@@ -274,6 +313,9 @@ func New(inc *core.Incremental, bootEdges int64, cfg Config) *Server {
 	s.mux.HandleFunc("GET /component", s.handleComponent)
 	s.mux.HandleFunc("GET /census", s.handleCensus)
 	s.mux.HandleFunc("GET /events", s.handleEvents)
+	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /history", s.handleHistory)
+	s.mux.HandleFunc("GET /debug/provenance", s.handleProvenanceDump)
 	s.mux.HandleFunc("POST /edges", s.handleEdges)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -304,6 +346,11 @@ func (s *Server) LastRun() *obs.Report { return s.lastRun.Load() }
 // runs without a write-ahead log.
 func (s *Server) WALReplay() *wal.ReplayStats { return s.walReplay }
 
+// Provenance returns the merge-forest, or nil when cfg.Provenance is
+// off. The forest is live: it answers Explain/History concurrently with
+// streaming writes.
+func (s *Server) Provenance() *provenance.Forest { return s.prov }
+
 // Open is New plus durability: when cfg.WALDir is set (and no log was
 // injected via cfg.WAL), it opens the write-ahead log there, replays
 // every record past inc's applied watermark into inc — before the
@@ -313,13 +360,21 @@ func (s *Server) WALReplay() *wal.ReplayStats { return s.walReplay }
 // the verdict is surfaced in /stats under "wal".
 func Open(inc *core.Incremental, bootEdges int64, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	// The forest must exist before replay so replayed merges are recorded:
+	// wal.Open applies records serially in LSN order, so two boots from the
+	// same log image build identical forests — /explain answers survive a
+	// crash byte-for-byte (the provenance-smoke property).
+	if cfg.Provenance && cfg.prov == nil {
+		cfg.prov = provenance.NewForest(inc.NumVertices())
+		inc.SetMergeObserver(cfg.prov)
+	}
 	var st wal.ReplayStats
 	if cfg.WAL == nil && cfg.WALDir != "" {
 		after := wal.LSN(inc.AppliedLSN())
 		var replayed int64
 		l, rst, err := wal.Open(cfg.WALDir, after, func(lsn wal.LSN, edges []graph.Edge) error {
 			for _, e := range edges {
-				inc.AddEdge(e.U, e.V)
+				inc.AddEdgeAt(e.U, e.V, uint64(lsn))
 			}
 			inc.MarkApplied(uint64(lsn))
 			replayed += int64(len(edges))
@@ -724,6 +779,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"count":  s.cfg.Anomaly.Count(),
 			"recent": s.cfg.Anomaly.Recent(),
 		},
+	}
+	if s.prov != nil {
+		st := s.prov.StatsNow()
+		s.provMem.Set(float64(st.MemoryBytes))
+		s.provRecords.Set(float64(st.Records))
+		body["provenance"] = st
 	}
 	published, evictions, live := s.hub.snapshot()
 	body["events"] = map[string]any{

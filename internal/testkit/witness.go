@@ -1,0 +1,55 @@
+package testkit
+
+import (
+	"fmt"
+
+	"afforest/internal/graph"
+	"afforest/internal/provenance"
+)
+
+// EdgeSet indexes an input multigraph's undirected edges so witness
+// paths can be checked hop-by-hop against what was actually submitted.
+type EdgeSet map[[2]graph.V]struct{}
+
+// NewEdgeSet builds the index from a batch of input edges.
+func NewEdgeSet(edges []graph.Edge) EdgeSet {
+	s := make(EdgeSet, len(edges))
+	for _, e := range edges {
+		s.Add(e.U, e.V)
+	}
+	return s
+}
+
+// Add records an undirected input edge.
+func (s EdgeSet) Add(u, v graph.V) {
+	s[[2]graph.V{min(u, v), max(u, v)}] = struct{}{}
+}
+
+// Has reports whether {u,v} was submitted (either orientation).
+func (s EdgeSet) Has(u, v graph.V) bool {
+	_, ok := s[[2]graph.V{min(u, v), max(u, v)}]
+	return ok
+}
+
+// CheckWitness is the provenance soundness invariant: a witness
+// returned for (u, v) must be a genuine path in the input multigraph —
+// contiguous (each hop starts where the previous ended), anchored at u
+// and ending at v, and made exclusively of edges that were actually
+// submitted. It does NOT require the path to be shortest: the forest
+// records the merge that happened, not the cheapest connection.
+func CheckWitness(u, v graph.V, hops []provenance.Hop, edges EdgeSet) error {
+	at := u
+	for i, h := range hops {
+		if h.U != at {
+			return fmt.Errorf("witness %d⇝%d: hop %d starts at %d, want %d", u, v, i, h.U, at)
+		}
+		if !edges.Has(h.U, h.V) {
+			return fmt.Errorf("witness %d⇝%d: hop %d {%d,%d} is not an input edge", u, v, i, h.U, h.V)
+		}
+		at = h.V
+	}
+	if at != v {
+		return fmt.Errorf("witness %d⇝%d: path ends at %d", u, v, at)
+	}
+	return nil
+}
